@@ -1,0 +1,196 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// ablation benches for the design knobs DESIGN.md calls out. Each
+// benchmark iteration performs the full experiment at a reduced workload
+// scale so `go test -bench=.` completes in minutes; pass
+// -benchscale to change it.
+package smrseek_test
+
+import (
+	"flag"
+	"io"
+	"testing"
+
+	"smrseek"
+)
+
+var benchScale = flag.Float64("benchscale", 0.1, "workload scale used by experiment benchmarks")
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := smrseek.RunExperiment(io.Discard, name, *benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Characterize regenerates Table I (workload characteristics).
+func BenchmarkTable1Characterize(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig2SeekCounts regenerates Figure 2 (NoLS vs LS seek counts).
+func BenchmarkFig2SeekCounts(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3LongSeekSeries regenerates Figure 3 (long-seek overhead over time).
+func BenchmarkFig3LongSeekSeries(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4DistanceCDF regenerates Figure 4 (access-distance CDFs).
+func BenchmarkFig4DistanceCDF(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5FragmentCDF regenerates Figure 5 (fragmented-read skew).
+func BenchmarkFig5FragmentCDF(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig7Misorder regenerates Figure 7 (non-sequential write patterns).
+func BenchmarkFig7Misorder(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8Misordered regenerates Figure 8 (mis-ordered write fractions).
+func BenchmarkFig8Misordered(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig10Popularity regenerates Figure 10 (fragment popularity).
+func BenchmarkFig10Popularity(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11SAF regenerates Figure 11 (the headline SAF comparison).
+func BenchmarkFig11SAF(b *testing.B) { benchExperiment(b, "fig11") }
+
+// ---------------------------------------------------------------------
+// Ablation benches: the knobs the paper fixes, swept. Reported metric is
+// total SAF ×1000 (as saf_millis) so shapes are visible in bench output.
+
+func w91Records(scale float64) []smrseek.Record {
+	return smrseek.MustWorkload("w91").Generate(scale)
+}
+
+func safOf(b *testing.B, cfg smrseek.Config, recs []smrseek.Record, baseSeeks int64) float64 {
+	b.Helper()
+	st, err := smrseek.Run(cfg, recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(st.Disk.TotalSeeks()) / float64(baseSeeks)
+}
+
+func baseline(b *testing.B, recs []smrseek.Record) int64 {
+	b.Helper()
+	st, err := smrseek.Run(smrseek.Config{}, recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st.Disk.TotalSeeks()
+}
+
+// BenchmarkAblationCacheSize sweeps the selective cache capacity around
+// the paper's fixed 64 MB.
+func BenchmarkAblationCacheSize(b *testing.B) {
+	recs := w91Records(*benchScale)
+	base := baseline(b, recs)
+	for _, mb := range []int64{4, 16, 64, 256} {
+		mb := mb
+		b.Run(byteLabel(mb), func(b *testing.B) {
+			var saf float64
+			for i := 0; i < b.N; i++ {
+				cc := smrseek.CacheConfig{CapacityBytes: mb << 20}
+				saf = safOf(b, smrseek.Config{LogStructured: true, Cache: &cc}, recs, base)
+			}
+			b.ReportMetric(saf*1000, "saf_millis")
+		})
+	}
+}
+
+// BenchmarkAblationPrefetchWindow sweeps the look-ahead-behind window.
+func BenchmarkAblationPrefetchWindow(b *testing.B) {
+	recs := w91Records(*benchScale)
+	base := baseline(b, recs)
+	for _, kb := range []int64{16, 64, 256, 1024} {
+		kb := kb
+		b.Run(itoa(kb)+"KiB", func(b *testing.B) {
+			var saf float64
+			for i := 0; i < b.N; i++ {
+				pc := smrseek.PrefetchConfig{
+					LookBehindSectors: kb * 2,
+					LookAheadSectors:  kb * 2,
+					BufferBytes:       32 << 20,
+				}
+				saf = safOf(b, smrseek.Config{LogStructured: true, Prefetch: &pc}, recs, base)
+			}
+			b.ReportMetric(saf*1000, "saf_millis")
+			b.ReportMetric(float64(kb), "window_kb")
+		})
+	}
+}
+
+// BenchmarkAblationDefragGating sweeps the §IV-A gates (N fragments, k
+// accesses) the paper mentions but does not evaluate.
+func BenchmarkAblationDefragGating(b *testing.B) {
+	recs := w91Records(*benchScale)
+	base := baseline(b, recs)
+	for _, g := range []smrseek.DefragConfig{
+		{MinFragments: 2, MinAccesses: 1},
+		{MinFragments: 4, MinAccesses: 1},
+		{MinFragments: 2, MinAccesses: 3},
+	} {
+		g := g
+		b.Run(gateLabel(g), func(b *testing.B) {
+			var saf float64
+			for i := 0; i < b.N; i++ {
+				gg := g
+				saf = safOf(b, smrseek.Config{LogStructured: true, Defrag: &gg}, recs, base)
+			}
+			b.ReportMetric(saf*1000, "saf_millis")
+		})
+	}
+}
+
+// BenchmarkAblationCombined runs all three mechanisms together — beyond
+// the paper, which evaluates each alone.
+func BenchmarkAblationCombined(b *testing.B) {
+	recs := w91Records(*benchScale)
+	base := baseline(b, recs)
+	var saf float64
+	for i := 0; i < b.N; i++ {
+		d := smrseek.DefaultDefrag()
+		p := smrseek.DefaultPrefetch()
+		c := smrseek.DefaultCache()
+		saf = safOf(b, smrseek.Config{LogStructured: true, Defrag: &d, Prefetch: &p, Cache: &c}, recs, base)
+	}
+	b.ReportMetric(saf*1000, "saf_millis")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (ops/sec)
+// of the plain LS pipeline — the engineering number that bounds how big
+// a trace the library can replay.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	recs := smrseek.MustWorkload("w89").Generate(0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := smrseek.Run(smrseek.Config{LogStructured: true}, recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(recs)*b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+func byteLabel(mb int64) string {
+	switch {
+	case mb >= 1024:
+		return "1GiB"
+	default:
+		return itoa(mb) + "MiB"
+	}
+}
+
+func gateLabel(g smrseek.DefragConfig) string {
+	return "N" + itoa(int64(g.MinFragments)) + "k" + itoa(int64(g.MinAccesses))
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

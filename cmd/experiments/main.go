@@ -1,0 +1,43 @@
+// Command experiments regenerates the paper's tables and figures from
+// the synthetic workload catalog.
+//
+// Usage:
+//
+//	experiments [-scale 0.5] table1 fig2 fig3 fig4 fig5 fig7 fig8 fig10 fig11 waf timeamp
+//	experiments all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"smrseek"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0, "workload scale (0 = default 0.5)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		return fmt.Errorf(`pass experiment names (table1 fig2 fig3 fig4 fig5 fig7 fig8 fig10 fig11 waf timeamp) or "all"`)
+	}
+	for _, name := range names {
+		if err := smrseek.RunExperiment(out, name, *scale); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+// Command smrsim runs one workload (a named synthetic workload or a
+// trace file) through the seek simulator under a chosen translation
+// layer and mechanisms, and prints seek statistics and, with -all, the
+// paper's Figure 11 comparison for that workload.
+//
+// Examples:
+//
+//	smrsim -workload w91 -all
+//	smrsim -workload hm_1 -ls -cache -time
+//	smrsim -trace disk0.csv -format msr -disk 0 -ls -prefetch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"smrseek"
+	"smrseek/internal/core"
+	"smrseek/internal/disk"
+	"smrseek/internal/metrics"
+	"smrseek/internal/report"
+	"smrseek/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("smrsim", flag.ContinueOnError)
+	var (
+		workloadName = fs.String("workload", "", "named synthetic workload (see traceinfo -list)")
+		scale        = fs.Float64("scale", 0.5, "workload scale (multiplies base op count)")
+		tracePath    = fs.String("trace", "", "trace file to simulate instead of a named workload")
+		format       = fs.String("format", "cp", `trace format: "msr" or "cp"`)
+		diskNum      = fs.Int("disk", -1, "MSR disk number filter (-1 = all)")
+		all          = fs.Bool("all", false, "run the full Figure 11 variant comparison")
+		layerName    = fs.String("layer", "", `translation layer: "segls" (finite log + greedy cleaning) or "mcache" (media cache); default is NoLS/LS per -ls`)
+		ls           = fs.Bool("ls", false, "use the log-structured layer")
+		defrag       = fs.Bool("defrag", false, "enable opportunistic defragmentation (implies -ls)")
+		prefetch     = fs.Bool("prefetch", false, "enable look-ahead-behind prefetching (implies -ls)")
+		cache        = fs.Bool("cache", false, "enable 64 MB selective caching (implies -ls)")
+		cacheMB      = fs.Int64("cache-mb", 64, "selective cache size in MiB")
+		withTime     = fs.Bool("time", false, "also report modelled service time (7200 RPM drive)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	recs, name, err := loadRecords(*workloadName, *scale, *tracePath, *format, *diskNum)
+	if err != nil {
+		return err
+	}
+	c := smrseek.Characterize(recs)
+	fmt.Fprintf(out, "workload %s: %s reads, %s writes, %.2f GB read, %.2f GB written\n",
+		name, report.HumanCount(c.ReadCount), report.HumanCount(c.WriteCount), c.ReadGB(), c.WrittenGB())
+
+	if *all {
+		return runAll(out, recs)
+	}
+
+	cfg := smrseek.Config{LogStructured: *layerName == "" && (*ls || *defrag || *prefetch || *cache)}
+	if *layerName != "" {
+		layer, err := buildLayer(*layerName, recs)
+		if err != nil {
+			return err
+		}
+		cfg.CustomLayer = layer
+	}
+	if *defrag {
+		d := smrseek.DefaultDefrag()
+		cfg.Defrag = &d
+	}
+	if *prefetch {
+		p := smrseek.DefaultPrefetch()
+		cfg.Prefetch = &p
+	}
+	if *cache {
+		cc := smrseek.CacheConfig{CapacityBytes: *cacheMB << 20}
+		cfg.Cache = &cc
+	}
+	return runOne(out, recs, cfg, *withTime)
+}
+
+// buildLayer constructs an alternative translation layer sized to the
+// workload: segls gets a finite log at ~1.1x the write footprint with
+// greedy cleaning; mcache gets 64 MiB zones and a 512 MiB media cache.
+func buildLayer(name string, recs []smrseek.Record) (smrseek.Layer, error) {
+	switch name {
+	case "segls":
+		const seg = 8192
+		footprint := smrseek.WriteFootprint(recs)
+		return smrseek.NewGCLayer(smrseek.GCConfig{
+			DeviceSectors:  smrseek.MaxLBA(recs),
+			LogSectors:     ((footprint*11/10)/seg + 4) * seg,
+			SegmentSectors: seg,
+			Policy:         smrseek.Greedy,
+		})
+	case "mcache":
+		const zone = 64 << 11 // 64 MiB
+		maxLBA := smrseek.MaxLBA(recs)
+		return smrseek.NewMediaCacheLayer(smrseek.MediaCacheConfig{
+			DeviceSectors: ((maxLBA + zone) / zone) * zone,
+			ZoneSectors:   zone,
+			CacheSectors:  8 * zone,
+		})
+	default:
+		return nil, fmt.Errorf("unknown layer %q (want segls or mcache)", name)
+	}
+}
+
+func loadRecords(workloadName string, scale float64, tracePath, format string, diskNum int) ([]smrseek.Record, string, error) {
+	switch {
+	case workloadName != "" && tracePath != "":
+		return nil, "", fmt.Errorf("pass -workload or -trace, not both")
+	case workloadName != "":
+		p, err := smrseek.Workload(workloadName)
+		if err != nil {
+			return nil, "", err
+		}
+		return p.Generate(scale), p.Name, nil
+	case tracePath != "":
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		r, err := smrseek.OpenTrace(f, smrseek.TraceFormat(format), diskNum)
+		if err != nil {
+			return nil, "", err
+		}
+		recs, err := smrseek.ReadAll(r)
+		if err != nil {
+			return nil, "", err
+		}
+		return recs, tracePath, nil
+	default:
+		return nil, "", fmt.Errorf("pass -workload NAME or -trace FILE (workloads: %v)", smrseek.Workloads())
+	}
+}
+
+func runAll(out io.Writer, recs []smrseek.Record) error {
+	cmp, err := smrseek.ComparePaper(recs)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("seek amplification factor vs NoLS baseline",
+		"variant", "read seeks", "write seeks", "read SAF", "write SAF", "total SAF")
+	b := cmp.Baseline.Disk
+	tb.AddRow("NoLS", report.HumanCount(b.ReadSeeks), report.HumanCount(b.WriteSeeks), 1.0, 1.0, 1.0)
+	for _, v := range cmp.Variants {
+		tb.AddRow(v.Name, report.HumanCount(v.Stats.Disk.ReadSeeks),
+			report.HumanCount(v.Stats.Disk.WriteSeeks), v.Read, v.Write, v.Total)
+	}
+	return tb.Render(out)
+}
+
+func runOne(out io.Writer, recs []smrseek.Record, cfg smrseek.Config, withTime bool) error {
+	// Baseline for SAF.
+	base, err := smrseek.Run(smrseek.Config{}, recs)
+	if err != nil {
+		return err
+	}
+
+	if cfg.LogStructured && cfg.FrontierStart == 0 {
+		cfg.FrontierStart = core.FrontierFor(recs)
+	}
+	sim, err := smrseek.NewSimulator(cfg)
+	if err != nil {
+		return err
+	}
+	var acc *disk.TimeAccumulator
+	if withTime {
+		acc = disk.NewTimeAccumulator(disk.DefaultTimeModel())
+		sim.Disk().AddObserver(acc)
+	}
+	st, err := sim.Run(trace.NewSliceReader(recs))
+	if err != nil {
+		return err
+	}
+
+	tb := report.NewTable(fmt.Sprintf("%s results", cfg.Name()), "metric", "value")
+	tb.AddRow("read seeks", report.HumanCount(st.Disk.ReadSeeks))
+	tb.AddRow("write seeks", report.HumanCount(st.Disk.WriteSeeks))
+	tb.AddRow("read SAF", metrics.SAF(st.Disk.ReadSeeks, base.Disk.ReadSeeks))
+	tb.AddRow("write SAF", metrics.SAF(st.Disk.WriteSeeks, base.Disk.WriteSeeks))
+	tb.AddRow("total SAF", metrics.SAF(st.Disk.TotalSeeks(), base.Disk.TotalSeeks()))
+	tb.AddRow("fragmented reads", report.HumanCount(st.FragmentedReads))
+	tb.AddRow("max fragments/read", st.MaxFragments)
+	if cfg.Cache != nil {
+		tb.AddRow("cache hits", report.HumanCount(st.CacheHits))
+		tb.AddRow("cache invalidations", report.HumanCount(st.CacheInvalidations))
+	}
+	if cfg.Prefetch != nil {
+		tb.AddRow("prefetch hits", report.HumanCount(st.PrefetchHits))
+	}
+	if cfg.Defrag != nil {
+		tb.AddRow("defrag write-backs", report.HumanCount(st.DefragWritebacks))
+	}
+	if st.MaintSectors > 0 {
+		tb.AddRow("maintenance reads", report.HumanCount(st.MaintReads))
+		tb.AddRow("maintenance writes", report.HumanCount(st.MaintWrites))
+		tb.AddRow("write amplification", st.WAF)
+	}
+	if acc != nil {
+		tb.AddRow("modelled read time", acc.ReadTime.Round(1000000).String())
+		tb.AddRow("modelled write time", acc.WriteTime.Round(1000000).String())
+		tb.AddRow("modelled seek time", acc.SeekTime.Round(1000000).String())
+	}
+	return tb.Render(out)
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smrseek"
+)
+
+func TestRunWorkloadAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "hm_1", "-scale", "0.2", "-all"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"NoLS", "LS+defrag", "LS+prefetch", "LS+cache", "total SAF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSingleVariantWithTime(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "hm_1", "-scale", "0.2", "-cache", "-time"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"LS+cache results", "cache hits", "modelled seek time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	recs := smrseek.MustWorkload("ts_0").Generate(0.05)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smrseek.WriteTrace(f, smrseek.FormatCP, recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-format", "cp", "-ls"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LS results") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no workload and no trace must error")
+	}
+	if err := run([]string{"-workload", "x", "-trace", "y"}, &buf); err == nil {
+		t.Error("both workload and trace must error")
+	}
+	if err := run([]string{"-workload", "bogus"}, &buf); err == nil {
+		t.Error("unknown workload must error")
+	}
+	if err := run([]string{"-trace", "/nonexistent/file"}, &buf); err == nil {
+		t.Error("missing trace file must error")
+	}
+	if err := run([]string{"-trace", "/dev/null", "-format", "bogus"}, &buf); err == nil {
+		t.Error("unknown format must error")
+	}
+}
+
+func TestRunCustomLayers(t *testing.T) {
+	for _, layer := range []string{"segls", "mcache"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-workload", "usr_0", "-scale", "0.2", "-layer", layer}, &buf); err != nil {
+			t.Fatalf("%s: %v", layer, err)
+		}
+		if !strings.Contains(buf.String(), "results") {
+			t.Errorf("%s output:\n%s", layer, buf.String())
+		}
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "usr_0", "-scale", "0.1", "-layer", "bogus"}, &buf); err == nil {
+		t.Error("unknown layer must error")
+	}
+}

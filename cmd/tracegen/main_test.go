@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smrseek"
+)
+
+func TestGenerateToFileAndReadBack(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := run([]string{"-workload", "ts_0", "-scale", "0.05", "-format", "cp", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := smrseek.OpenTrace(f, smrseek.FormatCP, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := smrseek.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 100 {
+		t.Errorf("only %d records written", len(recs))
+	}
+}
+
+func TestGenerateMSRFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.msr")
+	if err := run([]string{"-workload", "ts_0", "-scale", "0.05", "-format", "msr", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), ",smrseek,0,") {
+		t.Errorf("MSR format unexpected: %.100s", data)
+	}
+}
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -workload must error")
+	}
+	if err := run([]string{"-workload", "bogus"}); err == nil {
+		t.Error("unknown workload must error")
+	}
+	if err := run([]string{"-workload", "ts_0", "-o", "/nonexistent/dir/x"}); err == nil {
+		t.Error("unwritable output must error")
+	}
+	if err := run([]string{"-workload", "ts_0", "-scale", "0.01", "-format", "bogus", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("unknown format must error")
+	}
+}

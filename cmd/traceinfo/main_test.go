@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smrseek"
+)
+
+func TestWorkloadInfo(t *testing.T) {
+	if err := run([]string{"-workload", "src2_2", "-scale", "0.2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceInfo(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	recs := smrseek.MustWorkload("ts_0").Generate(0.05)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smrseek.WriteTrace(f, smrseek.FormatCP, recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"-trace", path, "-format", "cp"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListAndErrors(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil); err == nil {
+		t.Error("no input must error")
+	}
+	if err := run([]string{"-workload", "a", "-trace", "b"}); err == nil {
+		t.Error("both inputs must error")
+	}
+	if err := run([]string{"-workload", "bogus"}); err == nil {
+		t.Error("unknown workload must error")
+	}
+	if err := run([]string{"-trace", "/nonexistent"}); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestFitFlag(t *testing.T) {
+	if err := run([]string{"-workload", "w91", "-scale", "0.1", "-fit"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+// Archival example: the log-friendly case the paper's introduction
+// motivates. An ingest workload writes objects at scattered LBAs (the
+// allocator's choice), and readers later fetch them in roughly the order
+// they arrived (newest-first feeds, backup verification, replication).
+//
+// Because the reads follow the *temporal* write order, log-structured
+// placement turns both writes and reads sequential: seek amplification
+// drops well below 1, and — as the paper argues for archival systems that
+// never clean — the SMR penalty disappears entirely.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smrseek"
+)
+
+func main() {
+	const (
+		objects    = 4000
+		objSectors = 64             // 32 KB objects
+		space      = int64(1) << 23 // 4 GB namespace
+	)
+
+	var recs []smrseek.Record
+	t := int64(0)
+	emit := func(kind smrseek.OpKind, lba, n int64) {
+		recs = append(recs, smrseek.Record{Time: t, Kind: kind, Extent: smrseek.Extent{Start: lba, Count: n}})
+		t += 1_000_000
+	}
+
+	// Ingest: objects land wherever the allocator put them.
+	seed := uint64(42)
+	var order []int64
+	for i := 0; i < objects; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		lba := int64(seed % uint64(space-objSectors))
+		order = append(order, lba)
+		emit(smrseek.Write, lba, objSectors)
+	}
+	// Verification pass: read everything back in arrival order, twice.
+	for pass := 0; pass < 2; pass++ {
+		for _, lba := range order {
+			emit(smrseek.Read, lba, objSectors)
+		}
+	}
+
+	cmp, err := smrseek.Compare(recs, smrseek.Config{LogStructured: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ls := cmp.Variants[0]
+	fmt.Printf("archival ingest + temporal read-back (%d objects)\n", objects)
+	fmt.Printf("NoLS: %d seeks   LS: %d seeks   total SAF = %.3f\n",
+		cmp.Baseline.Disk.TotalSeeks(), ls.Stats.Disk.TotalSeeks(), ls.Total)
+	if ls.Total < 1 {
+		fmt.Println("log structuring REDUCED seeks: reads follow the temporal write order,")
+		fmt.Println("so the log serves them almost sequentially — the paper's log-friendly case.")
+	}
+}

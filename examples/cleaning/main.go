@@ -1,0 +1,109 @@
+// Cleaning example: the trade-off the paper's §II describes between the
+// two ways to build an SMR translation layer, measured end to end.
+//
+// An OLTP-style workload (small random updates over a bounded footprint,
+// plus point reads) runs against:
+//
+//   - the paper's infinite log-structured layer (no cleaning — the
+//     archival assumption);
+//   - a finite log with greedy and cost-benefit segment cleaning, sized
+//     with tight over-provisioning so the cleaner must keep up;
+//   - the media-cache layer shipped drive-managed SMR devices use.
+//
+// The log-structured designs pay read seeks (fragmentation); the media
+// cache pays write amplification (whole-zone merges). The paper's three
+// mechanisms attack the first cost; this example shows why that matters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smrseek"
+)
+
+func main() {
+	recs := buildWorkload()
+	base, err := smrseek.Run(smrseek.Config{}, recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	footprint := smrseek.WriteFootprint(recs)
+	maxLBA := smrseek.MaxLBA(recs)
+	const seg = 2048 // 1 MiB segments
+	logSectors := ((footprint*11/10)/seg + 4) * seg
+
+	fmt.Printf("workload: %d ops, %.1f MB footprint, log %.1f MB\n",
+		len(recs), float64(footprint)*512/1e6, float64(logSectors)*512/1e6)
+	fmt.Printf("%-22s %9s %9s %7s %12s\n", "layer", "read SAF", "total SAF", "WAF", "cleanings")
+
+	show := func(label string, cfg smrseek.Config, cleanings func() int64) {
+		st, err := smrseek.Run(cfg, recs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := int64(0)
+		if cleanings != nil {
+			n = cleanings()
+		}
+		fmt.Printf("%-22s %9.2f %9.2f %7.2f %12d\n", label,
+			float64(st.Disk.ReadSeeks)/float64(base.Disk.ReadSeeks),
+			float64(st.Disk.TotalSeeks())/float64(base.Disk.TotalSeeks()),
+			st.WAF, n)
+	}
+
+	show("LS (infinite)", smrseek.Config{LogStructured: true}, nil)
+
+	for _, pol := range []smrseek.GCPolicy{smrseek.Greedy, smrseek.CostBenefit} {
+		layer, err := smrseek.NewGCLayer(smrseek.GCConfig{
+			DeviceSectors:  maxLBA,
+			LogSectors:     logSectors,
+			SegmentSectors: seg,
+			Policy:         pol,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(layer.Name(), smrseek.Config{CustomLayer: layer}, layer.Cleanings)
+	}
+
+	zone := int64(8192)
+	mcl, err := smrseek.NewMediaCacheLayer(smrseek.MediaCacheConfig{
+		DeviceSectors: ((maxLBA + zone) / zone) * zone,
+		ZoneSectors:   zone,
+		CacheSectors:  8 * zone,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("MediaCache", smrseek.Config{CustomLayer: mcl}, mcl.Merges)
+}
+
+// buildWorkload emits an update-heavy pattern: load a 24 MB table, then
+// interleave 4 KB updates with point reads.
+func buildWorkload() []smrseek.Record {
+	const table = 48 * 1024 // sectors
+	var recs []smrseek.Record
+	t := int64(0)
+	emit := func(kind smrseek.OpKind, lba, n int64) {
+		recs = append(recs, smrseek.Record{Time: t, Kind: kind, Extent: smrseek.Extent{Start: lba, Count: n}})
+		t += 1_000_000
+	}
+	for off := int64(0); off < table; off += 2048 {
+		emit(smrseek.Write, off, 2048)
+	}
+	seed := uint64(11)
+	next := func(mod int64) int64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int64(seed % uint64(mod))
+	}
+	for i := 0; i < 30000; i++ {
+		if i%3 == 0 {
+			emit(smrseek.Read, next(table-64), 64)
+		} else {
+			emit(smrseek.Write, next(table-8), 8)
+		}
+	}
+	return recs
+}

@@ -1,0 +1,85 @@
+// Database example: the paper's §III "sequential read after random
+// write" thought experiment, built by hand against the public API.
+//
+// A 256 MB table file receives a burst of small random updates (the
+// B-tree page writes of an OLTP phase), then an analytics phase scans it
+// end-to-end N times. Under update-in-place the scans are free; under
+// log-structured translation every scan re-pays one seek per relocated
+// page — an N-fold amplification — until a mechanism intervenes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smrseek"
+)
+
+const (
+	tableSectors = 512 * 1024 // 256 MB table
+	pageSectors  = 8          // 4 KB pages
+	updates      = 2000
+	scanPasses   = 5
+	chunkSectors = 2048 // 1 MB scan I/Os
+)
+
+func main() {
+	var recs []smrseek.Record
+	t := int64(0)
+	emit := func(kind smrseek.OpKind, lba, n int64) {
+		recs = append(recs, smrseek.Record{Time: t, Kind: kind, Extent: smrseek.Extent{Start: lba, Count: n}})
+		t += 1_000_000
+	}
+
+	// Load phase: the table is written sequentially.
+	for off := int64(0); off < tableSectors; off += chunkSectors {
+		emit(smrseek.Write, off, chunkSectors)
+	}
+	// OLTP phase: random page updates (deterministic LCG so the example
+	// is reproducible).
+	seed := uint64(1)
+	for i := 0; i < updates; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		page := int64(seed % uint64(tableSectors/pageSectors))
+		emit(smrseek.Write, page*pageSectors, pageSectors)
+	}
+	// Analytics phase: N full sequential scans.
+	for pass := 0; pass < scanPasses; pass++ {
+		for off := int64(0); off < tableSectors; off += chunkSectors {
+			emit(smrseek.Read, off, chunkSectors)
+		}
+	}
+
+	cmp, err := smrseek.ComparePaper(recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d-sector table, %d random updates, %d scan passes\n",
+		int64(tableSectors), updates, scanPasses)
+	fmt.Printf("NoLS baseline: %d read seeks, %d write seeks\n",
+		cmp.Baseline.Disk.ReadSeeks, cmp.Baseline.Disk.WriteSeeks)
+	for _, v := range cmp.Variants {
+		fmt.Printf("%-14s total SAF %6.2f   (read seeks %7d, cache hits %7d, defrag writebacks %5d)\n",
+			v.Name, v.Total, v.Stats.Disk.ReadSeeks, v.Stats.CacheHits, v.Stats.DefragWritebacks)
+	}
+
+	// The 64 MB paper cache gets ZERO hits here: the scans' fragment
+	// working set is the whole 256 MB table, and a sequential scan over a
+	// larger-than-cache set is LRU's worst case — the same reason caching
+	// is not the winner for usr_1 and src2_2 in the paper's Figure 11.
+	// Size the cache past the working set and it wins outright:
+	big := smrseek.CacheConfig{CapacityBytes: 512 << 20}
+	cmp2, err := smrseek.Compare(recs, smrseek.Config{LogStructured: true, Cache: &big})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := cmp2.Variants[0]
+	fmt.Printf("%-14s total SAF %6.2f   (read seeks %7d, cache hits %7d)  <- 512 MB cache\n",
+		v.Name, v.Total, v.Stats.Disk.ReadSeeks, v.Stats.CacheHits)
+
+	fmt.Println()
+	fmt.Println("Log structuring makes each scan pass re-pay the update fragmentation.")
+	fmt.Println("Defragmentation repairs it after the first pass; prefetching helps only")
+	fmt.Println("where fragments are physically close; selective caching needs the fragment")
+	fmt.Println("working set to fit — 64 MB thrashes on this table, 512 MB absorbs it.")
+}

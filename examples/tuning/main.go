@@ -1,0 +1,57 @@
+// Tuning example: sweeps the knobs the paper fixes — selective cache
+// size (64 MB in §V), prefetch window (look-ahead/behind) and the
+// defragmentation gates (N fragments, k accesses, §IV-A) — showing how
+// each mechanism's benefit scales. This is the exploration the paper
+// leaves as configuration guidance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smrseek"
+)
+
+func main() {
+	recs := smrseek.MustWorkload("w91").Generate(0.5)
+	base, err := smrseek.Run(smrseek.Config{}, recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseSeeks := base.Disk.TotalSeeks()
+	saf := func(cfg smrseek.Config) float64 {
+		st, err := smrseek.Run(cfg, recs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return float64(st.Disk.TotalSeeks()) / float64(baseSeeks)
+	}
+
+	fmt.Println("cache size sweep (w91):")
+	for _, mb := range []int64{1, 4, 16, 64, 256} {
+		cc := smrseek.CacheConfig{CapacityBytes: mb << 20}
+		fmt.Printf("  %4d MB cache: total SAF %.2f\n", mb, saf(smrseek.Config{LogStructured: true, Cache: &cc}))
+	}
+
+	fmt.Println("prefetch window sweep (w91):")
+	for _, kb := range []int64{16, 64, 256, 1024} {
+		pc := smrseek.PrefetchConfig{
+			LookBehindSectors: kb * 2, // KB → 512-byte sectors
+			LookAheadSectors:  kb * 2,
+			BufferBytes:       32 << 20,
+		}
+		fmt.Printf("  ±%4d KB window: total SAF %.2f\n", kb, saf(smrseek.Config{LogStructured: true, Prefetch: &pc}))
+	}
+
+	fmt.Println("defrag gate sweep (w91):")
+	for _, g := range []smrseek.DefragConfig{
+		{MinFragments: 2, MinAccesses: 1},
+		{MinFragments: 4, MinAccesses: 1},
+		{MinFragments: 8, MinAccesses: 1},
+		{MinFragments: 2, MinAccesses: 3},
+	} {
+		gg := g
+		fmt.Printf("  N>=%d, k>=%d: total SAF %.2f\n", g.MinFragments, g.MinAccesses,
+			saf(smrseek.Config{LogStructured: true, Defrag: &gg}))
+	}
+}

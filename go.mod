@@ -1,0 +1,3 @@
+module smrseek
+
+go 1.22

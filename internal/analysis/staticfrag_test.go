@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"testing"
+
+	"smrseek/internal/metrics"
+	"smrseek/internal/workload"
+)
+
+func TestStaticFragSeriesGrows(t *testing.T) {
+	p, err := workload.ByName("w91")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := p.Generate(0.2)
+	pts, err := StaticFragSeries(recs, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Static fragmentation and mapped volume are non-decreasing over a
+	// write-accumulating run (no cleaning in the infinite model), and
+	// strictly higher at the end than at the start.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MappedSectors < pts[i-1].MappedSectors {
+			t.Fatalf("mapped sectors decreased at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+		if pts[i].Op <= pts[i-1].Op {
+			t.Fatalf("op indexes not increasing")
+		}
+	}
+	if pts[len(pts)-1].Fragments <= pts[0].Fragments {
+		t.Errorf("static fragmentation did not grow: %+v ... %+v", pts[0], pts[len(pts)-1])
+	}
+	if pts[len(pts)-1].Op != int64(len(recs)) {
+		t.Errorf("last sample at op %d, want %d", pts[len(pts)-1].Op, len(recs))
+	}
+	// sampleEvery < 1 clamps.
+	if _, err := StaticFragSeries(recs[:10], 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceStats(t *testing.T) {
+	cdf := metrics.NewCDF()
+	if st := DistanceStats(cdf); st.Seeks != 0 {
+		t.Error("empty CDF should report zero seeks")
+	}
+	// Half the seeks tiny, half at ~1 GB.
+	const gb = int64(1) << 21
+	for i := 0; i < 500; i++ {
+		cdf.Observe(100)
+		cdf.Observe(float64(-gb + int64(i)))
+	}
+	st := DistanceStats(cdf)
+	if st.Seeks != 1000 {
+		t.Fatalf("seeks = %d", st.Seeks)
+	}
+	if st.WithinTrack < 0.45 || st.WithinTrack > 0.55 {
+		t.Errorf("WithinTrack = %v, want ~0.5", st.WithinTrack)
+	}
+	if st.Within1GB < 0.95 {
+		t.Errorf("Within1GB = %v, want ~1", st.Within1GB)
+	}
+	if st.MeanAbsGB <= 0 {
+		t.Error("MeanAbsGB should be positive")
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"smrseek/internal/trace"
+	"smrseek/internal/workload"
+)
+
+func benchRecords(b *testing.B, name string) []trace.Record {
+	b.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p.Generate(0.3)
+}
+
+func benchRun(b *testing.B, cfg Config, recs []trace.Record) {
+	b.Helper()
+	if cfg.LogStructured && cfg.FrontierStart == 0 {
+		cfg.FrontierStart = trace.MaxLBA(recs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := NewSimulator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(trace.NewSliceReader(recs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(recs)*b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkPipeline measures simulation throughput per configuration —
+// the incremental cost of each mechanism over the bare pipeline.
+func BenchmarkPipeline(b *testing.B) {
+	recs := benchRecords(b, "w91")
+	d, p, c := DefaultDefragConfig(), DefaultPrefetchConfig(), DefaultCacheConfig()
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"NoLS", Config{}},
+		{"LS", Config{LogStructured: true}},
+		{"LS+defrag", Config{LogStructured: true, Defrag: &d}},
+		{"LS+prefetch", Config{LogStructured: true, Prefetch: &p}},
+		{"LS+cache", Config{LogStructured: true, Cache: &c}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) { benchRun(b, tc.cfg, recs) })
+	}
+}

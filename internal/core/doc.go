@@ -1,0 +1,20 @@
+// Package core implements the paper's primary contribution: a simulator
+// for seek behaviour of log-structured SMR translation layers, plus the
+// three read-seek-reduction mechanisms it proposes —
+//
+//   - opportunistic defragmentation (Algorithm 1): after serving a
+//     fragmented read, rewrite the read LBA range contiguously at the
+//     write frontier, trading one extra write seek for seek-free re-reads;
+//   - translation-aware look-ahead-behind prefetching (Algorithm 2): on
+//     fragmented reads, the drive fills a physical-range buffer around
+//     each fragment so that fragments written out of order but physically
+//     nearby are served without a seek (avoiding missed rotations);
+//   - translation-aware selective caching (Algorithm 3): a small LRU RAM
+//     cache holding only the fragments of fragmented reads, exploiting the
+//     skewed fragment popularity the paper measures (Figure 10).
+//
+// The Simulator composes a translation layer (stl.NoLS or stl.LS), any
+// subset of the mechanisms, and the seek-counting disk model; Compare runs
+// a workload through the untranslated baseline and any number of variants
+// and reports seek amplification factors (SAF), the paper's Figure 11.
+package core

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"smrseek/internal/geom"
+)
+
+// PrefetchConfig parameterizes translation-aware look-ahead-behind
+// prefetching (Algorithm 2).
+type PrefetchConfig struct {
+	// LookBehindSectors is how far before a fragment's physical start the
+	// drive reads into its buffer while the platter rotates toward the
+	// requested sector.
+	LookBehindSectors int64
+	// LookAheadSectors is how far past the fragment's physical end the
+	// drive keeps reading after completing the request.
+	LookAheadSectors int64
+	// BufferBytes bounds the drive buffer devoted to prefetched data;
+	// the oldest windows are dropped first (drive buffers are small FIFO
+	// segment pools, not LRU caches).
+	BufferBytes int64
+}
+
+// DefaultPrefetchConfig uses a 256 KB window on each side — matching the
+// paper's mis-ordered-write horizon (§IV-B) — and a 32 MB buffer, well
+// inside the 128–256 MB of DRAM the paper notes on current drives.
+func DefaultPrefetchConfig() PrefetchConfig {
+	return PrefetchConfig{
+		LookBehindSectors: 256 * 1024 / geom.SectorSize,
+		LookAheadSectors:  256 * 1024 / geom.SectorSize,
+		BufferBytes:       32 << 20,
+	}
+}
+
+// Prefetcher models the drive's look-ahead-behind buffer over *physical*
+// addresses. In a log-structured layer the log is immutable (old physical
+// locations are never rewritten), so buffered ranges can never go stale.
+type Prefetcher struct {
+	cfg     PrefetchConfig
+	windows []geom.Extent // FIFO of inserted windows
+	covered *geom.Set     // union of windows, for containment checks
+	bytes   int64
+
+	hits, misses int64
+}
+
+// NewPrefetcher returns a prefetcher with the given configuration.
+func NewPrefetcher(cfg PrefetchConfig) *Prefetcher {
+	return &Prefetcher{cfg: cfg, covered: geom.NewSet()}
+}
+
+// Covers reports whether the physical extent is entirely buffered, and
+// updates hit statistics.
+func (p *Prefetcher) Covers(phys geom.Extent) bool {
+	if p.covered.Contains(phys) {
+		p.hits++
+		return true
+	}
+	p.misses++
+	return false
+}
+
+// Fill records that the drive serviced a read at phys and, per Algorithm
+// 2, buffered LookBehind sectors before it and LookAhead sectors after it.
+func (p *Prefetcher) Fill(phys geom.Extent) {
+	if phys.Empty() {
+		return
+	}
+	start := phys.Start - p.cfg.LookBehindSectors
+	if start < 0 {
+		start = 0
+	}
+	w := geom.Span(start, phys.End()+p.cfg.LookAheadSectors)
+	p.windows = append(p.windows, w)
+	p.covered.Add(w)
+	p.bytes += w.Bytes()
+	for p.bytes > p.cfg.BufferBytes && len(p.windows) > 1 {
+		p.evictOldest()
+	}
+}
+
+// evictOldest drops the oldest window and rebuilds coverage, since an
+// overlapping newer window must keep its sectors buffered.
+func (p *Prefetcher) evictOldest() {
+	old := p.windows[0]
+	p.windows = p.windows[1:]
+	p.bytes -= old.Bytes()
+	p.covered.Clear()
+	for _, w := range p.windows {
+		p.covered.Add(w)
+	}
+}
+
+// Hits returns the number of fragment accesses served from the buffer.
+func (p *Prefetcher) Hits() int64 { return p.hits }
+
+// Misses returns the number of coverage checks that missed.
+func (p *Prefetcher) Misses() int64 { return p.misses }
+
+// BufferedBytes returns the bytes currently accounted to the buffer.
+func (p *Prefetcher) BufferedBytes() int64 { return p.bytes }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"smrseek/internal/geom"
+	"smrseek/internal/lru"
+)
+
+// CacheConfig parameterizes translation-aware selective caching
+// (Algorithm 3).
+type CacheConfig struct {
+	// CapacityBytes is the RAM devoted to cached fragments. The paper's
+	// evaluation fixes 64 MB.
+	CapacityBytes int64
+}
+
+// DefaultCacheConfig returns the paper's 64 MB evaluation setting.
+func DefaultCacheConfig() CacheConfig { return CacheConfig{CapacityBytes: 64 << 20} }
+
+// extKey identifies a cached fragment by its exact LBA extent. Fragment
+// boundaries are determined by the extent map, so repeated reads of the
+// same data yield the same keys until an intervening write changes the
+// map — and an intervening write invalidates the overlapping entries
+// anyway. Keying by exact extent can therefore produce false misses
+// (e.g. a narrower re-read of a cached range) but never false hits.
+type extKey struct {
+	start geom.Sector
+	count int64
+}
+
+func keyOf(e geom.Extent) extKey { return extKey{start: e.Start, count: e.Count} }
+
+func (k extKey) extent() geom.Extent { return geom.Ext(k.start, k.count) }
+
+// SelectiveCache is the translation-aware selective cache: an LRU over
+// fragments observed in fragmented reads, indexed by LBA extent and
+// invalidated by overlapping writes.
+type SelectiveCache struct {
+	cfg CacheConfig
+	c   *lru.Cache[extKey, struct{}]
+
+	// coverage is a coarse union of cached LBA ranges used to skip the
+	// invalidation scan for writes that cannot overlap anything cached.
+	// It is grown on insert and rebuilt after each invalidation scan, so
+	// it may over-approximate (stale after evictions) but never
+	// under-approximate live entries.
+	coverage *geom.Set
+
+	invalidations int64
+}
+
+// NewSelectiveCache returns a cache with the given configuration.
+func NewSelectiveCache(cfg CacheConfig) *SelectiveCache {
+	return &SelectiveCache{
+		cfg:      cfg,
+		c:        lru.New[extKey, struct{}](cfg.CapacityBytes),
+		coverage: geom.NewSet(),
+	}
+}
+
+// Has reports whether the fragment's exact LBA extent is cached, marking
+// it most recently used on a hit.
+func (s *SelectiveCache) Has(lba geom.Extent) bool {
+	_, ok := s.c.Get(keyOf(lba))
+	return ok
+}
+
+// Insert caches the fragment's data (modelled by size only).
+func (s *SelectiveCache) Insert(lba geom.Extent) {
+	if lba.Empty() {
+		return
+	}
+	s.c.Add(keyOf(lba), struct{}{}, lba.Bytes())
+	s.coverage.Add(lba)
+}
+
+// Invalidate drops every cached entry overlapping the written extent, so
+// the cache can never serve stale data. It returns the number of entries
+// dropped.
+func (s *SelectiveCache) Invalidate(written geom.Extent) int {
+	if written.Empty() || !overlapsAny(s.coverage, written) {
+		return 0
+	}
+	// Slow path: scan all keys, drop overlaps, rebuild tight coverage.
+	dropped := 0
+	fresh := geom.NewSet()
+	for _, k := range s.c.Keys() {
+		e := k.extent()
+		if e.Overlaps(written) {
+			s.c.Remove(k)
+			dropped++
+			continue
+		}
+		fresh.Add(e)
+	}
+	s.coverage = fresh
+	s.invalidations += int64(dropped)
+	return dropped
+}
+
+// overlapsAny reports whether e overlaps any extent in the set.
+func overlapsAny(set *geom.Set, e geom.Extent) bool {
+	return len(set.Covered(e)) > 0
+}
+
+// Hits returns the number of fragment lookups served from RAM.
+func (s *SelectiveCache) Hits() int64 { return s.c.Hits() }
+
+// Misses returns the number of fragment lookups that went to disk.
+func (s *SelectiveCache) Misses() int64 { return s.c.Misses() }
+
+// Invalidations returns the number of entries dropped by writes.
+func (s *SelectiveCache) Invalidations() int64 { return s.invalidations }
+
+// UsedBytes returns the bytes currently cached.
+func (s *SelectiveCache) UsedBytes() int64 { return s.c.Used() }
+
+// Entries returns the number of cached fragments.
+func (s *SelectiveCache) Entries() int { return s.c.Len() }

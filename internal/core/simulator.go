@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+	"smrseek/internal/stl"
+	"smrseek/internal/trace"
+)
+
+// Config selects a translation layer and the mechanisms composed with it.
+type Config struct {
+	// LogStructured selects the LS layer; false is the NoLS baseline.
+	LogStructured bool
+	// FrontierStart is where the LS write frontier begins — the paper
+	// starts it above the highest LBA in the trace. Ignored for NoLS.
+	FrontierStart geom.Sector
+	// CustomLayer, when non-nil, replaces the built-in layer entirely
+	// (e.g. a gc.Layer with finite-log cleaning or an mcache.Layer).
+	// Layers implementing stl.Maintainer get their background I/O played
+	// through the disk model after each host operation; layers
+	// implementing stl.Amplifier contribute Stats.WAF. Mechanisms
+	// compose with custom layers exactly as with LS.
+	CustomLayer stl.Layer
+	// Defrag enables opportunistic defragmentation when non-nil.
+	Defrag *DefragConfig
+	// Prefetch enables look-ahead-behind prefetching when non-nil.
+	Prefetch *PrefetchConfig
+	// Cache enables translation-aware selective caching when non-nil.
+	Cache *CacheConfig
+}
+
+// translated reports whether the configured layer relocates data (i.e.
+// is anything other than the NoLS identity baseline).
+func (c Config) translated() bool { return c.LogStructured || c.CustomLayer != nil }
+
+// Name returns a short label for the configuration ("NoLS", "LS",
+// "LS+defrag", ...), used in reports and Figure 11 column headers.
+func (c Config) Name() string {
+	if !c.translated() {
+		return "NoLS"
+	}
+	n := "LS"
+	if c.CustomLayer != nil {
+		n = c.CustomLayer.Name()
+	}
+	if c.Defrag != nil {
+		n += "+defrag"
+	}
+	if c.Prefetch != nil {
+		n += "+prefetch"
+	}
+	if c.Cache != nil {
+		n += "+cache"
+	}
+	return n
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if !c.translated() {
+		if c.Defrag != nil || c.Prefetch != nil || c.Cache != nil {
+			return fmt.Errorf("core: mechanisms require a translating layer")
+		}
+		return nil
+	}
+	if c.LogStructured && c.CustomLayer != nil {
+		return fmt.Errorf("core: LogStructured and CustomLayer are mutually exclusive")
+	}
+	if c.FrontierStart < 0 {
+		return fmt.Errorf("core: negative frontier start %d", c.FrontierStart)
+	}
+	return nil
+}
+
+// Stats is the outcome of one simulation run.
+type Stats struct {
+	Config Config
+	// Disk holds the §II seek counters.
+	Disk disk.Counters
+
+	// Logical operation counts (one per trace record).
+	Reads  int64
+	Writes int64
+
+	// FragmentedReads counts reads resolved to 2+ fragments;
+	// TotalFragments sums fragments over all reads (a read of k fragments
+	// contributes k); MaxFragments is the worst single read.
+	FragmentedReads int64
+	TotalFragments  int64
+	MaxFragments    int
+
+	// Mechanism statistics (zero when the mechanism is disabled).
+	CacheHits          int64
+	CacheMisses        int64
+	CacheInvalidations int64
+	PrefetchHits       int64
+	DefragWritebacks   int64
+	DefragSectors      int64
+
+	// Maintenance statistics (non-zero only for layers that generate
+	// background I/O — cleaning, media-cache merges).
+	MaintReads   int64
+	MaintWrites  int64
+	MaintSectors int64
+	// WAF is the layer's write amplification factor (1 when the layer
+	// does not relocate data on its own).
+	WAF float64
+}
+
+// ReadSAF, WriteSAF and TotalSAF are computed against a baseline by the
+// Comparison type in compare.go.
+
+// ReadEvent describes one resolved logical read, delivered to observers
+// before any mechanism intervenes. Analyses (fragment popularity, dynamic
+// fragmentation CDFs) hook in here.
+type ReadEvent struct {
+	// OpIndex is the 0-based index of the operation in the trace.
+	OpIndex int64
+	// Lba is the requested logical extent.
+	Lba geom.Extent
+	// Fragments is the resolution under the configured layer.
+	Fragments []stl.Fragment
+}
+
+// ReadObserver receives every ReadEvent.
+type ReadObserver func(ReadEvent)
+
+// Simulator drives a trace through a translation layer, the configured
+// mechanisms and the seek-counting disk model.
+type Simulator struct {
+	cfg        Config
+	layer      stl.Layer
+	ls         *stl.LS        // nil unless the built-in LS layer is used
+	maintainer stl.Maintainer // nil unless the layer generates background I/O
+	amplifier  stl.Amplifier  // nil unless the layer reports WAF
+	dev        *disk.Disk
+	defrag     *Defragmenter
+	prefetch   *Prefetcher
+	cache      *SelectiveCache
+
+	opIndex   int64
+	stats     Stats
+	observers []ReadObserver
+}
+
+// NewSimulator builds a simulator from the configuration.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg, dev: disk.New()}
+	switch {
+	case cfg.CustomLayer != nil:
+		s.layer = cfg.CustomLayer
+	case cfg.LogStructured:
+		s.ls = stl.NewLS(cfg.FrontierStart)
+		s.layer = s.ls
+	default:
+		s.layer = stl.NewNoLS()
+	}
+	if m, ok := s.layer.(stl.Maintainer); ok {
+		s.maintainer = m
+	}
+	if a, ok := s.layer.(stl.Amplifier); ok {
+		s.amplifier = a
+	}
+	if cfg.translated() {
+		if cfg.Defrag != nil {
+			s.defrag = NewDefragmenter(*cfg.Defrag)
+		}
+		if cfg.Prefetch != nil {
+			s.prefetch = NewPrefetcher(*cfg.Prefetch)
+		}
+		if cfg.Cache != nil {
+			s.cache = NewSelectiveCache(*cfg.Cache)
+		}
+	}
+	s.stats.Config = cfg
+	return s, nil
+}
+
+// Disk exposes the disk model so callers can attach observers (distance
+// CDFs, windowed series, time accumulators) before Run.
+func (s *Simulator) Disk() *disk.Disk { return s.dev }
+
+// Layer exposes the translation layer (e.g. for static fragmentation
+// analysis of the final extent map).
+func (s *Simulator) Layer() stl.Layer { return s.layer }
+
+// LS returns the log-structured layer, or nil for a NoLS simulator.
+func (s *Simulator) LS() *stl.LS { return s.ls }
+
+// AddReadObserver registers an observer for every resolved read.
+func (s *Simulator) AddReadObserver(o ReadObserver) {
+	s.observers = append(s.observers, o)
+}
+
+// Run consumes the whole trace and returns the accumulated statistics.
+func (s *Simulator) Run(r trace.Reader) (Stats, error) {
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		s.Step(rec)
+	}
+	if err := r.Err(); err != nil {
+		return Stats{}, err
+	}
+	return s.Stats(), nil
+}
+
+// Stats returns a snapshot of the statistics so far.
+func (s *Simulator) Stats() Stats {
+	st := s.stats
+	st.Disk = s.dev.Counters()
+	if s.cache != nil {
+		st.CacheHits = s.cache.Hits()
+		st.CacheMisses = s.cache.Misses()
+		st.CacheInvalidations = s.cache.Invalidations()
+	}
+	if s.prefetch != nil {
+		st.PrefetchHits = s.prefetch.Hits()
+	}
+	if s.defrag != nil {
+		st.DefragWritebacks = s.defrag.Writebacks()
+		st.DefragSectors = s.defrag.WrittenBackSectors()
+	}
+	st.WAF = 1
+	if s.amplifier != nil {
+		st.WAF = stl.WAF(s.amplifier)
+	}
+	return st
+}
+
+// Step processes one trace record.
+func (s *Simulator) Step(rec trace.Record) {
+	if rec.Extent.Empty() {
+		return
+	}
+	switch rec.Kind {
+	case disk.Read:
+		s.stepRead(rec)
+	case disk.Write:
+		s.stepWrite(rec)
+	}
+	s.drainMaintenance()
+	s.opIndex++
+}
+
+// drainMaintenance plays the layer's queued background I/O through the
+// disk model; its seeks count like any other, which is exactly the
+// cleaning cost the paper's infinite-disk model sets aside.
+func (s *Simulator) drainMaintenance() {
+	if s.maintainer == nil {
+		return
+	}
+	for _, op := range s.maintainer.PendingMaintenance() {
+		s.dev.Do(op.Kind, op.Extent)
+		if op.Kind == disk.Read {
+			s.stats.MaintReads++
+		} else {
+			s.stats.MaintWrites++
+		}
+		s.stats.MaintSectors += op.Extent.Count
+	}
+}
+
+func (s *Simulator) stepWrite(rec trace.Record) {
+	s.stats.Writes++
+	for _, f := range s.layer.Write(rec.Extent) {
+		s.dev.Write(f.PhysExtent())
+	}
+	if s.cache != nil {
+		s.cache.Invalidate(rec.Extent)
+	}
+	// The prefetch buffer indexes physical log addresses, which are
+	// immutable in LS: no invalidation needed.
+}
+
+func (s *Simulator) stepRead(rec trace.Record) {
+	s.stats.Reads++
+	frags := s.layer.Resolve(rec.Extent)
+	s.stats.TotalFragments += int64(len(frags))
+	if len(frags) > s.stats.MaxFragments {
+		s.stats.MaxFragments = len(frags)
+	}
+	fragmented := len(frags) > 1
+	if fragmented {
+		s.stats.FragmentedReads++
+	}
+
+	ev := ReadEvent{OpIndex: s.opIndex, Lba: rec.Extent, Fragments: frags}
+	for _, o := range s.observers {
+		o(ev)
+	}
+
+	for _, f := range frags {
+		// Algorithm 3: on fragmented reads, try RAM first.
+		if fragmented && s.cache != nil {
+			if s.cache.Has(f.Lba) {
+				continue // served from cache: no disk access, no seek
+			}
+		}
+		// Algorithm 2: on fragmented reads, try the drive buffer.
+		if fragmented && s.prefetch != nil {
+			if s.prefetch.Covers(f.PhysExtent()) {
+				continue // served from the drive buffer: no seek
+			}
+		}
+		s.dev.Read(f.PhysExtent())
+		if fragmented && s.prefetch != nil {
+			s.prefetch.Fill(f.PhysExtent())
+		}
+		if fragmented && s.cache != nil {
+			s.cache.Insert(f.Lba)
+		}
+	}
+
+	// Algorithm 1: write the just-read range back to the log head. The
+	// write-back goes through the normal write path so its frontier seek
+	// is charged to this variant — the cost the paper warns about. The
+	// selective cache is NOT invalidated: the data is unchanged, only its
+	// physical placement moved.
+	if fragmented && s.defrag != nil {
+		if s.defrag.ShouldDefrag(rec.Extent, len(frags)) {
+			for _, f := range s.layer.Write(rec.Extent) {
+				s.dev.Write(f.PhysExtent())
+			}
+			s.defrag.NoteWriteback(rec.Extent.Count)
+		}
+	}
+}

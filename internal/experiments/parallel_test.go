@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachIndexedRunsAll(t *testing.T) {
+	var count int64
+	seen := make([]int64, 100)
+	err := forEachIndexed(100, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt64(&seen[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("ran %d of 100", count)
+	}
+	for i, v := range seen {
+		if v != 1 {
+			t.Fatalf("index %d ran %d times", i, v)
+		}
+	}
+}
+
+func TestForEachIndexedPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := forEachIndexed(10, func(i int) error {
+		if i == 7 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForEachIndexedZeroAndOne(t *testing.T) {
+	if err := forEachIndexed(0, func(int) error { t.Fatal("should not run"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := forEachIndexed(1, func(i int) error { ran = true; return nil }); err != nil || !ran {
+		t.Fatal("single-item loop broken")
+	}
+}
+
+// TestParallelDeterminism: the parallel Fig11 sweep must produce
+// identical rows across runs.
+func TestParallelDeterminism(t *testing.T) {
+	a, err := Fig11Data(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig11Data(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("row counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,4 @@
+package extmap
+
+// CheckInvariants exposes internal invariant validation to tests.
+func (t *Map) CheckInvariants() error { return t.checkInvariants() }

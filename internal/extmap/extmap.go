@@ -1,0 +1,426 @@
+// Package extmap implements the LBA→PBA extent map at the heart of a
+// log-structured translation layer.
+//
+// The map is a set of disjoint LBA extents, each relocated to a physical
+// (log) position. Writing a range punches a hole through any overlapping
+// mappings — splitting, truncating or deleting them — and installs the new
+// mapping, so the invariant "mappings are disjoint in LBA space" always
+// holds. Looking up a range walks the covered mappings and merges pieces
+// that are also physically contiguous, yielding the *fragments* the disk
+// must visit to serve the read; the fragment count of a read is exactly
+// the paper's "dynamic fragmentation".
+//
+// The implementation is an AVL tree keyed by LBA start. AVL (rather than
+// a simpler structure) keeps worst-case O(log n) behaviour for the
+// million-extent maps that long traces build up.
+package extmap
+
+import (
+	"fmt"
+
+	"smrseek/internal/geom"
+)
+
+// Mapping relocates the LBA extent to the physical address space:
+// LBA sector Lba.Start+i is stored at PBA Pba+i.
+type Mapping struct {
+	Lba geom.Extent
+	Pba geom.Sector
+}
+
+// PhysEnd returns the first PBA after the mapping.
+func (m Mapping) PhysEnd() geom.Sector { return m.Pba + m.Lba.Count }
+
+// PhysExtent returns the physical extent the mapping occupies.
+func (m Mapping) PhysExtent() geom.Extent { return geom.Ext(m.Pba, m.Lba.Count) }
+
+// String renders the mapping for diagnostics.
+func (m Mapping) String() string {
+	return fmt.Sprintf("%v->%d", m.Lba, m.Pba)
+}
+
+// node is an AVL tree node holding one mapping.
+type node struct {
+	m           Mapping
+	left, right *node
+	height      int
+}
+
+// Map is the extent map. The zero value is an empty map ready to use.
+type Map struct {
+	root *node
+	n    int // number of mappings
+}
+
+// New returns an empty extent map.
+func New() *Map { return &Map{} }
+
+// Len returns the number of disjoint mappings (the paper's *static
+// fragmentation* census counts breaks between them; see StaticFragments).
+func (t *Map) Len() int { return t.n }
+
+// MappedSectors returns the total number of LBA sectors with a mapping.
+func (t *Map) MappedSectors() int64 {
+	var total int64
+	t.Walk(func(m Mapping) bool {
+		total += m.Lba.Count
+		return true
+	})
+	return total
+}
+
+func h(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func update(n *node) *node {
+	n.height = 1 + max(h(n.left), h(n.right))
+	return n
+}
+
+func rotateRight(y *node) *node {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	update(y)
+	return update(x)
+}
+
+func rotateLeft(x *node) *node {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	update(x)
+	return update(y)
+}
+
+func balance(n *node) *node {
+	update(n)
+	switch bf := h(n.left) - h(n.right); {
+	case bf > 1:
+		if h(n.left.left) < h(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if h(n.right.right) < h(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// insertNode adds a mapping known not to overlap any existing mapping.
+func (t *Map) insertNode(m Mapping) {
+	t.root = insert(t.root, m)
+	t.n++
+}
+
+func insert(n *node, m Mapping) *node {
+	if n == nil {
+		return &node{m: m, height: 1}
+	}
+	if m.Lba.Start < n.m.Lba.Start {
+		n.left = insert(n.left, m)
+	} else {
+		n.right = insert(n.right, m)
+	}
+	return balance(n)
+}
+
+// deleteStart removes the mapping whose LBA start equals start.
+func (t *Map) deleteStart(start geom.Sector) {
+	var deleted bool
+	t.root, deleted = del(t.root, start)
+	if deleted {
+		t.n--
+	}
+}
+
+func del(n *node, start geom.Sector) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch {
+	case start < n.m.Lba.Start:
+		n.left, deleted = del(n.left, start)
+	case start > n.m.Lba.Start:
+		n.right, deleted = del(n.right, start)
+	default:
+		deleted = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		// Replace with successor.
+		succ := n.right
+		for succ.left != nil {
+			succ = succ.left
+		}
+		n.m = succ.m
+		n.right, _ = del(n.right, succ.m.Lba.Start)
+	}
+	return balance(n), deleted
+}
+
+// overlapping collects, in ascending LBA order, every mapping that
+// overlaps the query extent.
+func (t *Map) overlapping(q geom.Extent) []Mapping {
+	if q.Empty() {
+		return nil
+	}
+	var out []Mapping
+	collect(t.root, q, &out)
+	return out
+}
+
+func collect(n *node, q geom.Extent, out *[]Mapping) {
+	if n == nil {
+		return
+	}
+	// In-order traversal pruned by key: mappings are disjoint and sorted
+	// by start, so the left subtree can only matter when the current key
+	// is above the query start... but a mapping starting below q.Start may
+	// still overlap q (it extends right). Since extents are disjoint, at
+	// most ONE mapping starts before q.Start yet overlaps it — the
+	// predecessor of q.Start. We handle that by descending left whenever
+	// the current start is >= q.Start, and also checking nodes that start
+	// before q.Start for overlap (then their left subtrees can be pruned
+	// only when the node itself starts below q.Start... a node starting
+	// below q.Start can still have a predecessor overlapping q? No:
+	// extents are disjoint, so if this node starts below q.Start and
+	// overlaps q, nothing to its left can reach q. If this node starts
+	// below q.Start and does NOT overlap q, nothing to its left can
+	// either.) Hence:
+	if n.m.Lba.Start >= q.Start {
+		collect(n.left, q, out)
+	}
+	if n.m.Lba.Overlaps(q) {
+		*out = append(*out, n.m)
+	}
+	if n.m.Lba.Start < q.End() {
+		collect(n.right, q, out)
+	}
+}
+
+// Insert maps the LBA extent lba to the physical run starting at pba,
+// replacing any previous mapping of those sectors. Overlapped mappings
+// are split or truncated so the disjointness invariant is preserved.
+// It returns the displaced pieces — the portions of older mappings that
+// lba overwrote, with their physical positions — which log-structured
+// layers use to decrement per-segment live counts.
+func (t *Map) Insert(lba geom.Extent, pba geom.Sector) []Mapping {
+	if lba.Empty() {
+		return nil
+	}
+	var displaced []Mapping
+	for _, old := range t.overlapping(lba) {
+		t.deleteStart(old.Lba.Start)
+		ov := old.Lba.Intersect(lba)
+		displaced = append(displaced, Mapping{
+			Lba: ov,
+			Pba: old.Pba + (ov.Start - old.Lba.Start),
+		})
+		for _, rest := range old.Lba.Subtract(lba) {
+			// The surviving piece keeps its original physical placement.
+			t.insertNode(Mapping{
+				Lba: rest,
+				Pba: old.Pba + (rest.Start - old.Lba.Start),
+			})
+		}
+	}
+	t.insertNode(Mapping{Lba: lba, Pba: pba})
+	return displaced
+}
+
+// Delete removes any mapping of the LBA extent (splitting mappings that
+// straddle its boundary) and returns the removed pieces.
+func (t *Map) Delete(lba geom.Extent) []Mapping {
+	if lba.Empty() {
+		return nil
+	}
+	var removed []Mapping
+	for _, old := range t.overlapping(lba) {
+		t.deleteStart(old.Lba.Start)
+		ov := old.Lba.Intersect(lba)
+		removed = append(removed, Mapping{
+			Lba: ov,
+			Pba: old.Pba + (ov.Start - old.Lba.Start),
+		})
+		for _, rest := range old.Lba.Subtract(lba) {
+			t.insertNode(Mapping{
+				Lba: rest,
+				Pba: old.Pba + (rest.Start - old.Lba.Start),
+			})
+		}
+	}
+	return removed
+}
+
+// Lookup resolves the LBA extent into mappings, in ascending LBA order.
+// Unmapped gaps are returned with Identity=true and Pba equal to the LBA
+// start (the paper's "unwritten data is stored at a physical location
+// corresponding to its LBA"). The pieces are maximal: consecutive pieces
+// that are contiguous in both LBA and PBA space are merged — so each
+// returned Resolved is one *fragment* and len(result) is the read's
+// dynamic fragmentation.
+func (t *Map) Lookup(q geom.Extent) []Resolved {
+	if q.Empty() {
+		return nil
+	}
+	var out []Resolved
+	emit := func(r Resolved) {
+		if n := len(out); n > 0 {
+			prev := &out[n-1]
+			if prev.Lba.End() == r.Lba.Start && prev.Pba+prev.Lba.Count == r.Pba {
+				// Physically contiguous with the previous piece: same fragment.
+				prev.Lba.Count += r.Lba.Count
+				prev.Identity = prev.Identity && r.Identity
+				return
+			}
+		}
+		out = append(out, r)
+	}
+	cur := q.Start
+	for _, m := range t.overlapping(q) {
+		if m.Lba.Start > cur {
+			gap := geom.Span(cur, m.Lba.Start)
+			emit(Resolved{Lba: gap, Pba: gap.Start, Identity: true})
+		}
+		ov := m.Lba.Intersect(q)
+		emit(Resolved{Lba: ov, Pba: m.Pba + (ov.Start - m.Lba.Start)})
+		cur = ov.End()
+	}
+	if cur < q.End() {
+		gap := geom.Span(cur, q.End())
+		emit(Resolved{Lba: gap, Pba: gap.Start, Identity: true})
+	}
+	return out
+}
+
+// Resolved is one physically-contiguous fragment of a resolved LBA range.
+type Resolved struct {
+	Lba      geom.Extent
+	Pba      geom.Sector
+	Identity bool // true when this piece was never written (PBA == LBA)
+}
+
+// PhysExtent returns the physical extent of the fragment.
+func (r Resolved) PhysExtent() geom.Extent { return geom.Ext(r.Pba, r.Lba.Count) }
+
+// Fragments returns the number of physically-contiguous pieces a read of q
+// would touch — the paper's dynamic fragmentation of that read.
+func (t *Map) Fragments(q geom.Extent) int { return len(t.Lookup(q)) }
+
+// Walk visits every mapping in ascending LBA order until fn returns false.
+func (t *Map) Walk(fn func(Mapping) bool) {
+	walk(t.root, fn)
+}
+
+func walk(n *node, fn func(Mapping) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !walk(n.left, fn) {
+		return false
+	}
+	if !fn(n.m) {
+		return false
+	}
+	return walk(n.right, fn)
+}
+
+// StaticFragments counts the physical discontinuities a sequential read of
+// the whole device (LBA 0..deviceSectors) would encounter — the paper's
+// *static fragmentation*. Each mapping whose physical start does not
+// follow the physical end of the preceding LBA run is a break.
+func (t *Map) StaticFragments(deviceSectors int64) int {
+	if deviceSectors <= 0 {
+		return 0
+	}
+	frags := 0
+	prevPbaEnd := geom.Sector(-1) // sentinel: the first piece always counts
+	// Pieces are visited in ascending LBA order with identity gaps filled
+	// in, so LBA continuity is guaranteed; only PBA continuity matters.
+	count := func(lba geom.Extent, pba geom.Sector) {
+		if pba != prevPbaEnd {
+			frags++
+		}
+		prevPbaEnd = pba + lba.Count
+	}
+	cur := geom.Sector(0)
+	t.Walk(func(m Mapping) bool {
+		if m.Lba.Start >= deviceSectors {
+			return false
+		}
+		if m.Lba.Start > cur {
+			count(geom.Span(cur, m.Lba.Start), cur) // identity gap
+		}
+		count(m.Lba, m.Pba)
+		cur = m.Lba.End()
+		return true
+	})
+	if cur < deviceSectors {
+		count(geom.Span(cur, deviceSectors), cur)
+	}
+	return frags
+}
+
+// checkInvariants validates AVL balance and mapping disjointness. It is
+// exported to tests via export_test.go.
+func (t *Map) checkInvariants() error {
+	var prev *Mapping
+	var walkErr error
+	var check func(n *node) int
+	check = func(n *node) int {
+		if n == nil || walkErr != nil {
+			return 0
+		}
+		lh := check(n.left)
+		rh := check(n.right)
+		if walkErr != nil {
+			return 0
+		}
+		if d := lh - rh; d < -1 || d > 1 {
+			walkErr = fmt.Errorf("extmap: unbalanced node %v (lh=%d rh=%d)", n.m, lh, rh)
+		}
+		got := 1 + max(lh, rh)
+		if n.height != got {
+			walkErr = fmt.Errorf("extmap: stale height at %v: %d != %d", n.m, n.height, got)
+		}
+		return got
+	}
+	check(t.root)
+	if walkErr != nil {
+		return walkErr
+	}
+	count := 0
+	t.Walk(func(m Mapping) bool {
+		count++
+		if m.Lba.Empty() {
+			walkErr = fmt.Errorf("extmap: empty mapping %v", m)
+			return false
+		}
+		if prev != nil && prev.Lba.End() > m.Lba.Start {
+			walkErr = fmt.Errorf("extmap: overlap %v then %v", *prev, m)
+			return false
+		}
+		mm := m
+		prev = &mm
+		return true
+	})
+	if walkErr != nil {
+		return walkErr
+	}
+	if count != t.n {
+		return fmt.Errorf("extmap: Len()=%d but walk saw %d", t.n, count)
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExtBasics(t *testing.T) {
+	e := Ext(10, 5)
+	if e.End() != 15 {
+		t.Errorf("End = %d, want 15", e.End())
+	}
+	if e.Empty() {
+		t.Error("Ext(10,5) should not be empty")
+	}
+	if e.Bytes() != 5*SectorSize {
+		t.Errorf("Bytes = %d, want %d", e.Bytes(), 5*SectorSize)
+	}
+	if (Extent{}).Empty() != true {
+		t.Error("zero extent must be empty")
+	}
+	if got := e.String(); got != "[10,15)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSpanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Span(5,3) should panic")
+		}
+	}()
+	Span(5, 3)
+}
+
+func TestContains(t *testing.T) {
+	e := Ext(10, 5)
+	cases := []struct {
+		s    Sector
+		want bool
+	}{{9, false}, {10, true}, {14, true}, {15, false}}
+	for _, c := range cases {
+		if got := e.Contains(c.s); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestContainsExtent(t *testing.T) {
+	e := Ext(10, 10)
+	if !e.ContainsExtent(Ext(10, 10)) {
+		t.Error("extent should contain itself")
+	}
+	if !e.ContainsExtent(Ext(12, 3)) {
+		t.Error("should contain interior")
+	}
+	if e.ContainsExtent(Ext(5, 10)) {
+		t.Error("should not contain straddling extent")
+	}
+	if !e.ContainsExtent(Extent{}) {
+		t.Error("empty extent contained in anything")
+	}
+}
+
+func TestOverlapsIntersect(t *testing.T) {
+	cases := []struct {
+		a, b Extent
+		want Extent
+	}{
+		{Ext(0, 10), Ext(5, 10), Ext(5, 5)},
+		{Ext(0, 10), Ext(10, 5), Extent{}},
+		{Ext(0, 10), Ext(20, 5), Extent{}},
+		{Ext(5, 5), Ext(0, 20), Ext(5, 5)},
+		{Ext(0, 0), Ext(0, 5), Extent{}},
+	}
+	for _, c := range cases {
+		got := c.a.Intersect(c.b)
+		if got != c.want {
+			t.Errorf("%v ∩ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if c.a.Overlaps(c.b) != !c.want.Empty() {
+			t.Errorf("Overlaps(%v,%v) inconsistent with Intersect", c.a, c.b)
+		}
+		// Symmetry.
+		if got2 := c.b.Intersect(c.a); got2 != got {
+			t.Errorf("Intersect not symmetric: %v vs %v", got, got2)
+		}
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	cases := []struct {
+		a, b Extent
+		want []Extent
+	}{
+		{Ext(0, 10), Ext(20, 5), []Extent{Ext(0, 10)}},          // disjoint
+		{Ext(0, 10), Ext(0, 10), nil},                           // exact
+		{Ext(0, 10), Ext(0, 5), []Extent{Ext(5, 5)}},            // prefix
+		{Ext(0, 10), Ext(5, 5), []Extent{Ext(0, 5)}},            // suffix
+		{Ext(0, 10), Ext(3, 4), []Extent{Ext(0, 3), Ext(7, 3)}}, // split
+		{Ext(5, 5), Ext(0, 20), nil},                            // swallowed
+	}
+	for _, c := range cases {
+		got := c.a.Subtract(c.b)
+		if len(got) != len(c.want) {
+			t.Errorf("%v - %v = %v, want %v", c.a, c.b, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%v - %v = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	if u, ok := Ext(0, 5).Union(Ext(5, 5)); !ok || u != Ext(0, 10) {
+		t.Errorf("adjacent union = %v,%v", u, ok)
+	}
+	if u, ok := Ext(0, 5).Union(Ext(3, 5)); !ok || u != Ext(0, 8) {
+		t.Errorf("overlap union = %v,%v", u, ok)
+	}
+	if _, ok := Ext(0, 5).Union(Ext(6, 5)); ok {
+		t.Error("disjoint union should fail")
+	}
+	if u, ok := (Extent{}).Union(Ext(6, 5)); !ok || u != Ext(6, 5) {
+		t.Error("union with empty should yield other")
+	}
+}
+
+func TestShiftClamp(t *testing.T) {
+	if got := Ext(10, 5).Shift(-3); got != Ext(7, 5) {
+		t.Errorf("Shift = %v", got)
+	}
+	if got := Ext(0, 100).Clamp(Ext(10, 5)); got != Ext(10, 5) {
+		t.Errorf("Clamp = %v", got)
+	}
+}
+
+// Property: subtracting b from a then intersecting the pieces with b is
+// always empty, and the pieces plus the intersection cover a exactly.
+func TestSubtractProperty(t *testing.T) {
+	f := func(as, ac, bs, bc uint16) bool {
+		a := Ext(int64(as), int64(ac%200))
+		b := Ext(int64(bs), int64(bc%200))
+		pieces := a.Subtract(b)
+		var covered int64
+		for _, p := range pieces {
+			if p.Empty() {
+				return false
+			}
+			if p.Overlaps(b) {
+				return false
+			}
+			if !a.ContainsExtent(p) {
+				return false
+			}
+			covered += p.Count
+		}
+		covered += a.Intersect(b).Count
+		return covered == max64(a.Count, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Intersect is commutative and contained in both operands.
+func TestIntersectProperty(t *testing.T) {
+	f := func(as, ac, bs, bc uint16) bool {
+		a := Ext(int64(as), int64(ac%200))
+		b := Ext(int64(bs), int64(bc%200))
+		ab := a.Intersect(b)
+		if ab != b.Intersect(a) {
+			return false
+		}
+		if ab.Empty() {
+			return true
+		}
+		return a.ContainsExtent(ab) && b.ContainsExtent(ab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package geom
+
+import "sort"
+
+// Set is a normalized collection of disjoint, non-adjacent extents kept in
+// ascending order. It is the small-scale interval set used by the prefetch
+// buffer coverage index and by several analyses; the large-scale LBA→PBA
+// mapping lives in package extmap.
+//
+// The zero Set is empty and ready to use.
+type Set struct {
+	exts []Extent
+}
+
+// NewSet returns a set containing the given extents (normalized).
+func NewSet(exts ...Extent) *Set {
+	s := &Set{}
+	for _, e := range exts {
+		s.Add(e)
+	}
+	return s
+}
+
+// Len returns the number of disjoint extents in the set.
+func (s *Set) Len() int { return len(s.exts) }
+
+// Sectors returns the total number of sectors covered.
+func (s *Set) Sectors() int64 {
+	var n int64
+	for _, e := range s.exts {
+		n += e.Count
+	}
+	return n
+}
+
+// Extents returns a copy of the normalized extents in ascending order.
+func (s *Set) Extents() []Extent {
+	out := make([]Extent, len(s.exts))
+	copy(out, s.exts)
+	return out
+}
+
+// search returns the index of the first extent whose end is > start.
+func (s *Set) search(start Sector) int {
+	return sort.Search(len(s.exts), func(i int) bool { return s.exts[i].End() > start })
+}
+
+// Add inserts e, merging with any overlapping or adjacent extents.
+func (s *Set) Add(e Extent) {
+	if e.Empty() {
+		return
+	}
+	// Find the run of extents that overlap or touch e.
+	i := s.search(e.Start - 1) // include an extent ending exactly at e.Start
+	j := i
+	merged := e
+	for j < len(s.exts) && s.exts[j].Start <= merged.End() {
+		if u, ok := merged.Union(s.exts[j]); ok {
+			merged = u
+		}
+		j++
+	}
+	// Replace exts[i:j] with merged.
+	s.exts = append(s.exts[:i], append([]Extent{merged}, s.exts[j:]...)...)
+}
+
+// Remove deletes e from the set, splitting extents as needed.
+func (s *Set) Remove(e Extent) {
+	if e.Empty() || len(s.exts) == 0 {
+		return
+	}
+	i := s.search(e.Start)
+	var repl []Extent
+	j := i
+	for j < len(s.exts) && s.exts[j].Start < e.End() {
+		repl = append(repl, s.exts[j].Subtract(e)...)
+		j++
+	}
+	if i == j {
+		return
+	}
+	s.exts = append(s.exts[:i], append(repl, s.exts[j:]...)...)
+}
+
+// Contains reports whether the whole extent e is covered by the set.
+func (s *Set) Contains(e Extent) bool {
+	if e.Empty() {
+		return true
+	}
+	i := s.search(e.Start)
+	return i < len(s.exts) && s.exts[i].ContainsExtent(e)
+}
+
+// ContainsSector reports whether a single sector is covered.
+func (s *Set) ContainsSector(sec Sector) bool {
+	return s.Contains(Extent{Start: sec, Count: 1})
+}
+
+// Covered returns the portions of e present in the set, ascending.
+func (s *Set) Covered(e Extent) []Extent {
+	if e.Empty() {
+		return nil
+	}
+	var out []Extent
+	for i := s.search(e.Start); i < len(s.exts) && s.exts[i].Start < e.End(); i++ {
+		if ov := s.exts[i].Intersect(e); !ov.Empty() {
+			out = append(out, ov)
+		}
+	}
+	return out
+}
+
+// Missing returns the portions of e absent from the set, ascending.
+func (s *Set) Missing(e Extent) []Extent {
+	if e.Empty() {
+		return nil
+	}
+	var out []Extent
+	cur := e.Start
+	for _, c := range s.Covered(e) {
+		if c.Start > cur {
+			out = append(out, Span(cur, c.Start))
+		}
+		cur = c.End()
+	}
+	if cur < e.End() {
+		out = append(out, Span(cur, e.End()))
+	}
+	return out
+}
+
+// Clear empties the set.
+func (s *Set) Clear() { s.exts = s.exts[:0] }

@@ -1,0 +1,41 @@
+package lru
+
+import "testing"
+
+func BenchmarkAdd(b *testing.B) {
+	c := New[int64, int64](1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(int64(i%10000), int64(i), 128)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := New[int64, int64](1 << 30)
+	for i := int64(0); i < 10000; i++ {
+		c.Add(i, i, 128)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(int64(i % 10000))
+	}
+}
+
+func BenchmarkGetMiss(b *testing.B) {
+	c := New[int64, int64](1 << 20)
+	for i := int64(0); i < 1000; i++ {
+		c.Add(i, i, 128)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(int64(i%1000) + 1_000_000)
+	}
+}
+
+func BenchmarkAddEvicting(b *testing.B) {
+	c := New[int64, int64](128 * 100) // holds 100 entries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(int64(i), int64(i), 128)
+	}
+}

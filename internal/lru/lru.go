@@ -1,0 +1,156 @@
+// Package lru provides a size-aware least-recently-used container: each
+// entry carries a byte cost and the cache evicts from the cold end until
+// the configured capacity is respected. It is the building block for the
+// translation-aware selective cache and the prefetch buffer.
+package lru
+
+import "container/list"
+
+// EvictFunc is called with each entry removed by capacity pressure (not
+// by explicit Remove).
+type EvictFunc[K comparable, V any] func(key K, value V)
+
+// Cache is a size-aware LRU. It is not safe for concurrent use; the
+// simulator is single-threaded by design (determinism).
+type Cache[K comparable, V any] struct {
+	capacity int64
+	used     int64
+	ll       *list.List
+	items    map[K]*list.Element
+	onEvict  EvictFunc[K, V]
+
+	hits, misses int64
+}
+
+type entry[K comparable, V any] struct {
+	key   K
+	value V
+	size  int64
+}
+
+// New returns a cache holding at most capacity bytes. A non-positive
+// capacity means the cache stores nothing (every Add evicts immediately).
+func New[K comparable, V any](capacity int64) *Cache[K, V] {
+	return &Cache[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element),
+	}
+}
+
+// OnEvict registers a callback invoked for each capacity eviction.
+func (c *Cache[K, V]) OnEvict(fn EvictFunc[K, V]) { c.onEvict = fn }
+
+// Len returns the number of entries.
+func (c *Cache[K, V]) Len() int { return c.ll.Len() }
+
+// Used returns the summed size of all entries in bytes.
+func (c *Cache[K, V]) Used() int64 { return c.used }
+
+// Capacity returns the configured capacity in bytes.
+func (c *Cache[K, V]) Capacity() int64 { return c.capacity }
+
+// Hits and Misses report Get statistics.
+func (c *Cache[K, V]) Hits() int64 { return c.hits }
+
+// Misses reports the number of Get calls that found nothing.
+func (c *Cache[K, V]) Misses() int64 { return c.misses }
+
+// Get returns the value for key and marks it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[K, V]).value, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value without touching recency or hit statistics.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*entry[K, V]).value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add inserts or updates key with the given value and byte size, marks it
+// most recently used, and evicts cold entries until the capacity holds.
+// An entry larger than the whole capacity is evicted immediately.
+func (c *Cache[K, V]) Add(key K, value V, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry[K, V])
+		c.used += size - e.size
+		e.value = value
+		e.size = size
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&entry[K, V]{key: key, value: value, size: size})
+		c.items[key] = el
+		c.used += size
+	}
+	c.evictTo(c.capacity)
+}
+
+// Remove deletes key if present and reports whether it was there. The
+// eviction callback is not invoked.
+func (c *Cache[K, V]) Remove(key K) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeElement(el)
+	return true
+}
+
+// Oldest returns the coldest key without disturbing recency.
+func (c *Cache[K, V]) Oldest() (K, bool) {
+	if el := c.ll.Back(); el != nil {
+		return el.Value.(*entry[K, V]).key, true
+	}
+	var zero K
+	return zero, false
+}
+
+// Keys returns all keys from most to least recently used.
+func (c *Cache[K, V]) Keys() []K {
+	out := make([]K, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry[K, V]).key)
+	}
+	return out
+}
+
+// Clear drops every entry without invoking the eviction callback.
+func (c *Cache[K, V]) Clear() {
+	c.ll.Init()
+	c.items = make(map[K]*list.Element)
+	c.used = 0
+}
+
+func (c *Cache[K, V]) evictTo(limit int64) {
+	for c.used > limit {
+		el := c.ll.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*entry[K, V])
+		c.removeElement(el)
+		if c.onEvict != nil {
+			c.onEvict(e.key, e.value)
+		}
+	}
+}
+
+func (c *Cache[K, V]) removeElement(el *list.Element) {
+	e := el.Value.(*entry[K, V])
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.used -= e.size
+}

@@ -1,0 +1,160 @@
+package lru
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddGet(t *testing.T) {
+	c := New[string, int](100)
+	c.Add("a", 1, 10)
+	c.Add("b", 2, 10)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v,%v", v, ok)
+	}
+	if _, ok := c.Get("zzz"); ok {
+		t.Fatal("Get(zzz) should miss")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if c.Len() != 2 || c.Used() != 20 || c.Capacity() != 100 {
+		t.Errorf("Len=%d Used=%d Cap=%d", c.Len(), c.Used(), c.Capacity())
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[int, int](30)
+	var evicted []int
+	c.OnEvict(func(k, v int) { evicted = append(evicted, k) })
+	c.Add(1, 1, 10)
+	c.Add(2, 2, 10)
+	c.Add(3, 3, 10)
+	c.Get(1)        // 1 becomes hottest; coldest is 2
+	c.Add(4, 4, 10) // must evict 2
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted = %v, want [2]", evicted)
+	}
+	if _, ok := c.Peek(2); ok {
+		t.Error("2 should be gone")
+	}
+	if k, ok := c.Oldest(); !ok || k != 3 {
+		t.Errorf("Oldest = %v,%v, want 3", k, ok)
+	}
+}
+
+func TestOversizeEntryEvictedImmediately(t *testing.T) {
+	c := New[string, int](10)
+	var evicted []string
+	c.OnEvict(func(k string, v int) { evicted = append(evicted, k) })
+	c.Add("huge", 1, 100)
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Fatalf("oversize entry retained: len=%d used=%d", c.Len(), c.Used())
+	}
+	if len(evicted) != 1 || evicted[0] != "huge" {
+		t.Errorf("evicted = %v", evicted)
+	}
+}
+
+func TestUpdateResizes(t *testing.T) {
+	c := New[string, int](100)
+	c.Add("a", 1, 10)
+	c.Add("a", 2, 50)
+	if c.Used() != 50 || c.Len() != 1 {
+		t.Fatalf("Used=%d Len=%d", c.Used(), c.Len())
+	}
+	if v, _ := c.Peek("a"); v != 2 {
+		t.Error("update did not replace value")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New[string, int](100)
+	c.OnEvict(func(k string, v int) { t.Errorf("OnEvict called for explicit Remove(%s)", k) })
+	c.Add("a", 1, 10)
+	if !c.Remove("a") {
+		t.Fatal("Remove should report true")
+	}
+	if c.Remove("a") {
+		t.Fatal("second Remove should report false")
+	}
+	if c.Used() != 0 || c.Len() != 0 {
+		t.Error("Remove did not release size")
+	}
+}
+
+func TestKeysMRUOrder(t *testing.T) {
+	c := New[int, int](1000)
+	for i := 0; i < 5; i++ {
+		c.Add(i, i, 1)
+	}
+	c.Get(0)
+	got := c.Keys()
+	want := []int{0, 4, 3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New[int, int](100)
+	c.Add(1, 1, 10)
+	c.Clear()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Error("Clear incomplete")
+	}
+	if _, ok := c.Oldest(); ok {
+		t.Error("Oldest after Clear should report false")
+	}
+	c.Add(2, 2, 10) // still usable
+	if c.Len() != 1 {
+		t.Error("cache unusable after Clear")
+	}
+}
+
+func TestZeroCapacityHoldsNothing(t *testing.T) {
+	c := New[int, int](0)
+	c.Add(1, 1, 1)
+	if c.Len() != 0 {
+		t.Error("zero-capacity cache must hold nothing")
+	}
+	c.Add(2, 2, 0) // zero-size entries fit in zero capacity
+	if c.Len() != 1 {
+		t.Error("zero-size entry should fit")
+	}
+}
+
+func TestNegativeSizeClamped(t *testing.T) {
+	c := New[int, int](10)
+	c.Add(1, 1, -5)
+	if c.Used() != 0 {
+		t.Errorf("Used = %d, want 0", c.Used())
+	}
+}
+
+// Property: Used never exceeds capacity after any Add sequence, and Used
+// equals the sum of surviving entries' sizes.
+func TestCapacityInvariantProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := New[uint8, int](64)
+		sizes := map[uint8]int64{}
+		for i, k := range ops {
+			size := int64(k % 17)
+			c.Add(k, i, size)
+			sizes[k] = size
+			if c.Used() > 64 {
+				return false
+			}
+		}
+		var sum int64
+		for _, k := range c.Keys() {
+			sum += sizes[k]
+		}
+		return sum == c.Used()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

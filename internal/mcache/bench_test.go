@@ -1,0 +1,43 @@
+package mcache
+
+import (
+	"testing"
+
+	"smrseek/internal/geom"
+)
+
+func BenchmarkWriteAndMerge(b *testing.B) {
+	l, err := New(Config{
+		DeviceSectors: 1 << 20,
+		ZoneSectors:   1 << 14,
+		CacheSectors:  4 << 14,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		l.Write(geom.Ext(int64(seed%(1<<20-64)), 16))
+		l.PendingMaintenance()
+	}
+	b.ReportMetric(float64(l.Merges()), "merges")
+}
+
+func BenchmarkResolveCached(b *testing.B) {
+	l, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := uint64(2)
+	for i := 0; i < 5000; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		l.Write(geom.Ext(int64(seed%(1<<22)), 16))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		l.Resolve(geom.Ext(int64(seed%(1<<22)), 256))
+	}
+}

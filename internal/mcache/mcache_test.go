@@ -1,0 +1,205 @@
+package mcache
+
+import (
+	"testing"
+
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+	"smrseek/internal/stl"
+)
+
+// tiny returns a small geometry: 8 zones of 1024 sectors data, 2 zones
+// of cache.
+func tiny() Config {
+	return Config{
+		DeviceSectors: 8 * 1024,
+		ZoneSectors:   1024,
+		CacheSectors:  2 * 1024,
+		MergeTrigger:  0.8,
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Layer {
+	t.Helper()
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{DeviceSectors: 100, ZoneSectors: 0, CacheSectors: 100},
+		{DeviceSectors: 100, ZoneSectors: 64, CacheSectors: 64},
+		{DeviceSectors: 128, ZoneSectors: 64, CacheSectors: 100},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	// Out-of-range trigger falls back to the default.
+	cfg := tiny()
+	cfg.MergeTrigger = 42
+	l := mustNew(t, cfg)
+	if l.cfg.MergeTrigger != 0.8 {
+		t.Errorf("trigger = %v", l.cfg.MergeTrigger)
+	}
+}
+
+func TestUnwrittenResolvesInPlace(t *testing.T) {
+	l := mustNew(t, tiny())
+	fs := l.Resolve(geom.Ext(100, 50))
+	if len(fs) != 1 || fs[0].Pba != 100 {
+		t.Fatalf("Resolve = %v", fs)
+	}
+	if l.Name() != "MediaCache" {
+		t.Error("name")
+	}
+}
+
+func TestWriteGoesToCacheThenMergesInPlace(t *testing.T) {
+	l := mustNew(t, tiny())
+	fs := l.Write(geom.Ext(100, 10))
+	if len(fs) != 1 || fs[0].Pba != 8*1024 {
+		t.Fatalf("first write = %v (cache starts at %d)", fs, 8*1024)
+	}
+	// Until merged, reads of that LBA hit the cache region.
+	rs := l.Resolve(geom.Ext(100, 10))
+	if len(rs) != 1 || rs[0].Pba != 8*1024 {
+		t.Fatalf("Resolve = %v", rs)
+	}
+	if l.CachedSectors() != 10 {
+		t.Errorf("CachedSectors = %d", l.CachedSectors())
+	}
+	l.Flush()
+	// After the merge the data is back in LBA order.
+	rs = l.Resolve(geom.Ext(100, 10))
+	if len(rs) != 1 || rs[0].Pba != 100 {
+		t.Fatalf("post-merge Resolve = %v", rs)
+	}
+	if l.Merges() != 1 || l.MergedZones() != 1 {
+		t.Errorf("merges=%d zones=%d", l.Merges(), l.MergedZones())
+	}
+	if l.CachedSectors() != 0 {
+		t.Error("cache should be empty after merge")
+	}
+}
+
+func TestMergeEmitsMaintenanceIO(t *testing.T) {
+	l := mustNew(t, tiny())
+	l.Write(geom.Ext(100, 10))  // zone 0
+	l.Write(geom.Ext(2000, 10)) // zone 1
+	l.Flush()
+	ops := l.PendingMaintenance()
+	// Per dirty zone: zone read + 1 cache-fragment read + zone write.
+	var reads, writes, zoneWrites int
+	for _, op := range ops {
+		switch op.Kind {
+		case disk.Read:
+			reads++
+		case disk.Write:
+			writes++
+			if op.Extent.Count == 1024 {
+				zoneWrites++
+			}
+		}
+	}
+	if reads != 4 || writes != 2 || zoneWrites != 2 {
+		t.Fatalf("ops: reads=%d writes=%d zoneWrites=%d (%v)", reads, writes, zoneWrites, ops)
+	}
+	// Draining clears the queue.
+	if len(l.PendingMaintenance()) != 0 {
+		t.Error("pending not cleared")
+	}
+}
+
+func TestTriggerMergesAutomatically(t *testing.T) {
+	l := mustNew(t, tiny())
+	// Cache is 2048 sectors; trigger 0.8 → merge at 1639+.
+	for i := 0; i < 9; i++ {
+		l.Write(geom.Ext(int64(i)*1024, 200)) // 200 sectors each, distinct zones
+	}
+	if l.Merges() == 0 {
+		t.Fatal("trigger merge did not fire")
+	}
+	if stl.WAF(l) <= 1 {
+		t.Errorf("WAF = %v, want > 1 (zone rewrites)", stl.WAF(l))
+	}
+}
+
+func TestWriteLargerThanCache(t *testing.T) {
+	l := mustNew(t, tiny())
+	// 3000 sectors > 2048-sector cache: must split and merge mid-write.
+	fs := l.Write(geom.Ext(0, 3000))
+	if len(fs) < 2 {
+		t.Fatalf("oversized write fragments = %v", fs)
+	}
+	var total int64
+	cur := geom.Sector(0)
+	for _, f := range fs {
+		if f.Lba.Start != cur {
+			t.Fatalf("fragments do not tile the write: %v", fs)
+		}
+		cur = f.Lba.End()
+		total += f.Lba.Count
+	}
+	if total != 3000 {
+		t.Fatalf("covered %d of 3000 sectors", total)
+	}
+	if l.Merges() == 0 {
+		t.Error("mid-write merge expected")
+	}
+}
+
+func TestWriteAmplificationAccounting(t *testing.T) {
+	l := mustNew(t, tiny())
+	l.Write(geom.Ext(0, 100))
+	l.Flush()
+	if l.HostSectors() != 100 {
+		t.Errorf("host = %d", l.HostSectors())
+	}
+	if l.ExtraSectors() != 1024 { // one zone rewrite
+		t.Errorf("extra = %d", l.ExtraSectors())
+	}
+	waf := stl.WAF(l)
+	if waf != 11.24 {
+		t.Errorf("WAF = %v, want 11.24", waf)
+	}
+	// Zero-write layer reports WAF 1.
+	l2 := mustNew(t, tiny())
+	if stl.WAF(l2) != 1 {
+		t.Error("empty layer WAF should be 1")
+	}
+}
+
+func TestZoneConstraintsRespected(t *testing.T) {
+	l := mustNew(t, tiny())
+	for i := 0; i < 30; i++ {
+		l.Write(geom.Ext(int64(i*313)%7000, 64))
+	}
+	l.Flush()
+	_, _, violations := l.Device().Stats()
+	if violations != 0 {
+		t.Fatalf("zoned-device violations = %d", violations)
+	}
+}
+
+func TestEmptyWriteNoop(t *testing.T) {
+	l := mustNew(t, tiny())
+	if l.Write(geom.Extent{}) != nil {
+		t.Error("empty write should return nil")
+	}
+	if l.HostSectors() != 0 {
+		t.Error("empty write must not count")
+	}
+	l.Flush() // no dirty zones: no-op
+	if l.Merges() != 0 {
+		t.Error("flush of clean cache should not merge")
+	}
+}

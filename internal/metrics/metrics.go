@@ -1,0 +1,261 @@
+// Package metrics provides the statistical plumbing the experiments use:
+// empirical CDFs, log-bucketed histograms, fixed-width windowed time
+// series, and the paper's headline metric — the seek amplification
+// factor (SAF).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SAF computes a seek amplification factor: seeks under a log-structured
+// variant divided by seeks under the untranslated baseline. A baseline of
+// zero with a non-zero numerator yields +Inf; 0/0 is defined as 1 (no
+// seeks anywhere — nothing was amplified).
+func SAF(variantSeeks, baselineSeeks int64) float64 {
+	if baselineSeeks == 0 {
+		if variantSeeks == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return float64(variantSeeks) / float64(baselineSeeks)
+}
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewCDF returns an empty CDF.
+func NewCDF() *CDF { return &CDF{} }
+
+// Observe adds one sample.
+func (c *CDF) Observe(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.samples) }
+
+func (c *CDF) sort() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// At returns P(X <= v), or 0 when the CDF is empty.
+func (c *CDF) At(v float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sort()
+	i := sort.SearchFloat64s(c.samples, math.Nextafter(v, math.Inf(1)))
+	return float64(i) / float64(len(c.samples))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1), or 0 when empty.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sort()
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	i := int(q * float64(len(c.samples)))
+	if i >= len(c.samples) {
+		i = len(c.samples) - 1
+	}
+	return c.samples[i]
+}
+
+// Point is one (X, P) sample of a rendered CDF curve.
+type Point struct {
+	X float64
+	P float64
+}
+
+// Curve renders the CDF at n evenly spaced x positions across [lo, hi].
+func (c *CDF) Curve(lo, hi float64, n int) []Point {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]Point, 0, n)
+	step := (hi - lo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		x := lo + float64(i)*step
+		out = append(out, Point{X: x, P: c.At(x)})
+	}
+	return out
+}
+
+// Mean returns the sample mean, or 0 when empty.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range c.samples {
+		sum += v
+	}
+	return sum / float64(len(c.samples))
+}
+
+// Histogram is a signed, symmetric log2-bucketed histogram for seek
+// distances: bucket 0 holds |v| in [0,1), bucket k holds |v| in
+// [2^(k-1), 2^k), with separate negative-side buckets.
+type Histogram struct {
+	pos   []int64
+	neg   []int64
+	zero  int64
+	total int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+func bucketOf(v int64) int {
+	// v > 0; bucket = floor(log2(v)) + 1, so 1 -> bucket 1.
+	b := 0
+	for v > 0 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Observe adds one signed sample.
+func (h *Histogram) Observe(v int64) {
+	h.total++
+	switch {
+	case v == 0:
+		h.zero++
+	case v > 0:
+		b := bucketOf(v)
+		for len(h.pos) <= b {
+			h.pos = append(h.pos, 0)
+		}
+		h.pos[b]++
+	default:
+		b := bucketOf(-v)
+		for len(h.neg) <= b {
+			h.neg = append(h.neg, 0)
+		}
+		h.neg[b]++
+	}
+}
+
+// Total returns the number of samples.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Bucket describes one histogram bucket: samples with Lo <= |v| < Hi on
+// the given sign.
+type Bucket struct {
+	Lo, Hi   int64
+	Negative bool
+	Count    int64
+}
+
+// Buckets returns the non-empty buckets in ascending value order
+// (most-negative first).
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for b := len(h.neg) - 1; b >= 1; b-- {
+		if h.neg[b] > 0 {
+			out = append(out, Bucket{Lo: 1 << (b - 1), Hi: 1 << b, Negative: true, Count: h.neg[b]})
+		}
+	}
+	if h.zero > 0 {
+		out = append(out, Bucket{Lo: 0, Hi: 1, Count: h.zero})
+	}
+	for b := 1; b < len(h.pos); b++ {
+		if h.pos[b] > 0 {
+			out = append(out, Bucket{Lo: 1 << (b - 1), Hi: 1 << b, Count: h.pos[b]})
+		}
+	}
+	return out
+}
+
+// CountWithin returns how many samples have |v| <= limit.
+func (h *Histogram) CountWithin(limit int64) int64 {
+	if limit < 0 {
+		return 0
+	}
+	n := h.zero
+	count := func(side []int64) {
+		for b := 1; b < len(side); b++ {
+			hi := int64(1) << b
+			if hi-1 <= limit {
+				n += side[b]
+			}
+		}
+	}
+	count(h.pos)
+	count(h.neg)
+	return n
+}
+
+// Series is a fixed-width windowed counter time series, used for the
+// Figure 3 long-seek-over-time plots (windowed by operation number).
+type Series struct {
+	Width int64 // operations per window
+	vals  []int64
+}
+
+// NewSeries returns a series with the given window width (minimum 1).
+func NewSeries(width int64) *Series {
+	if width < 1 {
+		width = 1
+	}
+	return &Series{Width: width}
+}
+
+// Add increments the window containing operation index op by delta.
+func (s *Series) Add(op int64, delta int64) {
+	w := int(op / s.Width)
+	for len(s.vals) <= w {
+		s.vals = append(s.vals, 0)
+	}
+	s.vals[w] += delta
+}
+
+// Values returns a copy of the per-window totals.
+func (s *Series) Values() []int64 {
+	out := make([]int64, len(s.vals))
+	copy(out, s.vals)
+	return out
+}
+
+// Sub returns a new series of s minus other, window-wise (used for the
+// "LS minus NoLS" differential the paper plots). Both must share Width.
+func (s *Series) Sub(other *Series) (*Series, error) {
+	if s.Width != other.Width {
+		return nil, fmt.Errorf("metrics: window widths differ (%d vs %d)", s.Width, other.Width)
+	}
+	n := len(s.vals)
+	if len(other.vals) > n {
+		n = len(other.vals)
+	}
+	out := NewSeries(s.Width)
+	out.vals = make([]int64, n)
+	for i := 0; i < n; i++ {
+		var a, b int64
+		if i < len(s.vals) {
+			a = s.vals[i]
+		}
+		if i < len(other.vals) {
+			b = other.vals[i]
+		}
+		out.vals[i] = a - b
+	}
+	return out, nil
+}

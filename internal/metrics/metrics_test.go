@@ -1,0 +1,235 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSAF(t *testing.T) {
+	cases := []struct {
+		v, b int64
+		want float64
+	}{
+		{10, 10, 1},
+		{20, 10, 2},
+		{5, 10, 0.5},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := SAF(c.v, c.b); got != c.want {
+			t.Errorf("SAF(%d,%d) = %v, want %v", c.v, c.b, got, c.want)
+		}
+	}
+	if got := SAF(5, 0); !math.IsInf(got, 1) {
+		t.Errorf("SAF(5,0) = %v, want +Inf", got)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF()
+	if c.At(10) != 0 || c.Quantile(0.5) != 0 || c.Mean() != 0 {
+		t.Error("empty CDF should return zeros")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		c.Observe(v)
+	}
+	if c.N() != 5 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if got := c.At(3); got != 0.6 {
+		t.Errorf("At(3) = %v, want 0.6", got)
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Errorf("At(0.5) = %v, want 0", got)
+	}
+	if got := c.At(100); got != 1 {
+		t.Errorf("At(100) = %v, want 1", got)
+	}
+	if got := c.Mean(); got != 3 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v", got)
+	}
+	if got := c.Quantile(1); got != 5 {
+		t.Errorf("Quantile(1) = %v", got)
+	}
+	if got := c.Quantile(0.5); got != 3 {
+		t.Errorf("Quantile(0.5) = %v", got)
+	}
+}
+
+func TestCDFCurve(t *testing.T) {
+	c := NewCDF()
+	for i := 1; i <= 100; i++ {
+		c.Observe(float64(i))
+	}
+	pts := c.Curve(0, 100, 11)
+	if len(pts) != 11 {
+		t.Fatalf("curve has %d points", len(pts))
+	}
+	if pts[0].P != 0 || pts[10].P != 1 {
+		t.Errorf("curve endpoints: %v ... %v", pts[0], pts[10])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P < pts[i-1].P {
+			t.Fatal("CDF curve must be monotone")
+		}
+	}
+	if got := c.Curve(0, 1, 1); len(got) != 2 {
+		t.Error("n<2 should be clamped to 2")
+	}
+}
+
+// Property: At is monotone and bounded in [0,1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(vals []int16, a, b int16) bool {
+		c := NewCDF()
+		for _, v := range vals {
+			c.Observe(float64(v))
+		}
+		lo, hi := float64(a), float64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		pa, pb := c.At(lo), c.At(hi)
+		return pa >= 0 && pb <= 1 && pa <= pb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{0, 1, 1, 3, -5, 1000, -1000} {
+		h.Observe(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	var sum int64
+	for _, b := range h.Buckets() {
+		sum += b.Count
+		if b.Lo >= b.Hi {
+			t.Errorf("bucket %+v has Lo >= Hi", b)
+		}
+	}
+	if sum != 7 {
+		t.Fatalf("bucket counts sum to %d", sum)
+	}
+	// Buckets must be sorted: negatives descending in magnitude first.
+	bs := h.Buckets()
+	signed := func(b Bucket) float64 {
+		v := float64(b.Lo)
+		if b.Negative {
+			return -v
+		}
+		return v
+	}
+	if !sort.SliceIsSorted(bs, func(i, j int) bool { return signed(bs[i]) < signed(bs[j]) }) {
+		t.Errorf("buckets not ordered: %+v", bs)
+	}
+}
+
+func TestHistogramCountWithin(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{0, 1, -1, 100, -100, 1 << 20} {
+		h.Observe(v)
+	}
+	if got := h.CountWithin(-1); got != 0 {
+		t.Errorf("CountWithin(-1) = %d", got)
+	}
+	if got := h.CountWithin(0); got != 1 {
+		t.Errorf("CountWithin(0) = %d", got)
+	}
+	if got := h.CountWithin(1); got != 3 {
+		t.Errorf("CountWithin(1) = %d", got)
+	}
+	if got := h.CountWithin(1 << 30); got != 6 {
+		t.Errorf("CountWithin(big) = %d", got)
+	}
+}
+
+// Property: CountWithin is conservative — it never overcounts relative to
+// the true number of samples within the limit (bucketization may
+// undercount but must never overcount).
+func TestHistogramCountWithinProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := NewHistogram()
+	var vals []int64
+	for i := 0; i < 2000; i++ {
+		v := rng.Int63n(1<<22) - 1<<21
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	for _, limit := range []int64{0, 1, 10, 1000, 1 << 18, 1 << 22} {
+		var exact int64
+		for _, v := range vals {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a <= limit {
+				exact++
+			}
+		}
+		if got := h.CountWithin(limit); got > exact {
+			t.Errorf("CountWithin(%d) = %d overcounts exact %d", limit, got, exact)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(10)
+	s.Add(0, 1)
+	s.Add(9, 1)
+	s.Add(10, 5)
+	s.Add(35, 2)
+	got := s.Values()
+	want := []int64{2, 5, 0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Values = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSeriesSub(t *testing.T) {
+	a := NewSeries(10)
+	b := NewSeries(10)
+	a.Add(0, 5)
+	a.Add(10, 3)
+	b.Add(0, 2)
+	b.Add(25, 7) // b is longer
+	diff, err := a.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{3, 3, -7}
+	got := diff.Values()
+	if len(got) != len(want) {
+		t.Fatalf("diff = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("diff = %v, want %v", got, want)
+		}
+	}
+	if _, err := a.Sub(NewSeries(5)); err == nil {
+		t.Error("mismatched widths must error")
+	}
+}
+
+func TestSeriesWidthClamp(t *testing.T) {
+	s := NewSeries(0)
+	if s.Width != 1 {
+		t.Errorf("width clamped to %d", s.Width)
+	}
+}

@@ -1,0 +1,43 @@
+package stl
+
+import (
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+)
+
+// MaintenanceOp is one background physical I/O a translation layer needs
+// the drive to perform — cleaning reads and writes, media-cache merges,
+// zone rewrites. Maintenance I/O moves the head like any host I/O, so
+// the simulator plays these through the disk model and its seeks count.
+type MaintenanceOp struct {
+	Kind   disk.OpKind
+	Extent geom.Extent // physical sectors
+}
+
+// Maintainer is implemented by translation layers that generate
+// background I/O. After each host operation the simulator drains
+// PendingMaintenance and plays the operations in order.
+type Maintainer interface {
+	// PendingMaintenance returns and clears the queued background I/O.
+	PendingMaintenance() []MaintenanceOp
+}
+
+// Amplifier is implemented by layers that relocate data internally and
+// can therefore report a write amplification factor.
+type Amplifier interface {
+	// HostSectors returns sectors written by the host; ExtraSectors
+	// returns sectors the layer wrote on its own behalf (merges,
+	// cleaning). WAF = (Host+Extra)/Host.
+	HostSectors() int64
+	ExtraSectors() int64
+}
+
+// WAF computes a write amplification factor from an Amplifier; a layer
+// that has written nothing reports 1.
+func WAF(a Amplifier) float64 {
+	host := a.HostSectors()
+	if host == 0 {
+		return 1
+	}
+	return float64(host+a.ExtraSectors()) / float64(host)
+}

@@ -1,0 +1,127 @@
+// Package stl implements the block translation layers the paper compares:
+// NoLS (untranslated, update-in-place — a conventional drive) and LS
+// (log-structured with a full extent map and an advancing write frontier,
+// the high-performance STL design of §II's "disk model").
+//
+// A translation layer is pure address arithmetic: it maps a logical
+// operation to the physical extents the disk must visit. Seek accounting
+// happens in package disk; mechanisms (defrag, prefetch, caching) compose
+// around the layer in package core.
+package stl
+
+import (
+	"smrseek/internal/extmap"
+	"smrseek/internal/geom"
+)
+
+// Fragment is one physically-contiguous piece of a resolved logical
+// operation.
+type Fragment struct {
+	// Lba is the logical range this fragment serves.
+	Lba geom.Extent
+	// Pba is the physical start sector.
+	Pba geom.Sector
+}
+
+// PhysExtent returns the physical extent of the fragment.
+func (f Fragment) PhysExtent() geom.Extent { return geom.Ext(f.Pba, f.Lba.Count) }
+
+// Layer is a block translation layer.
+type Layer interface {
+	// Resolve maps a logical read extent to the physical fragments that
+	// hold its data, in ascending LBA order. len(result) is the read's
+	// dynamic fragmentation.
+	Resolve(lba geom.Extent) []Fragment
+	// Write maps a logical write extent to the physical extents that
+	// receive the data, in the order they are written.
+	Write(lba geom.Extent) []Fragment
+	// Name identifies the layer in reports.
+	Name() string
+}
+
+// NoLS is the untranslated baseline: every LBA lives at PBA == LBA, and
+// writes update in place.
+type NoLS struct{}
+
+// NewNoLS returns the identity translation layer.
+func NewNoLS() *NoLS { return &NoLS{} }
+
+// Resolve implements Layer.
+func (*NoLS) Resolve(lba geom.Extent) []Fragment {
+	if lba.Empty() {
+		return nil
+	}
+	return []Fragment{{Lba: lba, Pba: lba.Start}}
+}
+
+// Write implements Layer.
+func (*NoLS) Write(lba geom.Extent) []Fragment {
+	if lba.Empty() {
+		return nil
+	}
+	return []Fragment{{Lba: lba, Pba: lba.Start}}
+}
+
+// Name implements Layer.
+func (*NoLS) Name() string { return "NoLS" }
+
+// LS is the log-structured layer: every write lands at the write
+// frontier, which starts above the highest LBA the workload will touch
+// (unwritten data is assumed resident at PBA == LBA, per the paper §III).
+type LS struct {
+	m        *extmap.Map
+	frontier geom.Sector
+	written  int64 // sectors appended to the log (includes rewrites)
+}
+
+// NewLS returns a log-structured layer whose write frontier starts at
+// frontierStart (typically the device size or trace MaxLBA).
+func NewLS(frontierStart geom.Sector) *LS {
+	return &LS{m: extmap.New(), frontier: frontierStart}
+}
+
+// Resolve implements Layer.
+func (l *LS) Resolve(lba geom.Extent) []Fragment {
+	rs := l.m.Lookup(lba)
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]Fragment, len(rs))
+	for i, r := range rs {
+		out[i] = Fragment{Lba: r.Lba, Pba: r.Pba}
+	}
+	return out
+}
+
+// Write implements Layer: the whole extent is appended at the frontier.
+func (l *LS) Write(lba geom.Extent) []Fragment {
+	if lba.Empty() {
+		return nil
+	}
+	pba := l.frontier
+	l.m.Insert(lba, pba)
+	l.frontier += lba.Count
+	l.written += lba.Count
+	return []Fragment{{Lba: lba, Pba: pba}}
+}
+
+// Name implements Layer.
+func (l *LS) Name() string { return "LS" }
+
+// Frontier returns the current write frontier position.
+func (l *LS) Frontier() geom.Sector { return l.frontier }
+
+// LogSectors returns the total sectors ever appended to the log; minus
+// the live mapped sectors this is the dead (cleanable) space.
+func (l *LS) LogSectors() int64 { return l.written }
+
+// Map exposes the extent map for analyses (static fragmentation etc.).
+func (l *LS) Map() *extmap.Map { return l.m }
+
+// Fragments returns the dynamic fragmentation of a read of lba.
+func (l *LS) Fragments(lba geom.Extent) int { return l.m.Fragments(lba) }
+
+var (
+	_ Layer = (*NoLS)(nil)
+	_ Layer = (*LS)(nil)
+)

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+)
+
+// Binary trace format: a compact, stream-friendly encoding for large
+// traces (about 5x smaller and an order of magnitude faster to parse
+// than CSV). Layout:
+//
+//	magic   [8]byte  "SMRSEEK1"
+//	records *
+//	  flagKind uint8   bit0: kind (0 read, 1 write); bit1: has time delta
+//	  timeDelta varint (ns since previous record; present iff bit1)
+//	  lba      uvarint (delta-encoded against previous record's LBA, zigzag)
+//	  sectors  uvarint
+//
+// Delta encoding keeps sequential workloads to ~4 bytes per record.
+
+// BinaryMagic identifies binary trace streams.
+var BinaryMagic = [8]byte{'S', 'M', 'R', 'S', 'E', 'E', 'K', '1'}
+
+const (
+	flagWrite   = 1 << 0
+	flagHasTime = 1 << 1
+)
+
+// WriteBinary encodes records in the binary trace format.
+func WriteBinary(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(BinaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [3 * binary.MaxVarintLen64]byte
+	prevTime := int64(0)
+	prevLBA := geom.Sector(0)
+	for _, r := range recs {
+		flags := byte(0)
+		if r.Kind == disk.Write {
+			flags |= flagWrite
+		}
+		dt := r.Time - prevTime
+		if dt != 0 {
+			flags |= flagHasTime
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		n := 0
+		if dt != 0 {
+			n += binary.PutVarint(buf[n:], dt)
+		}
+		n += binary.PutVarint(buf[n:], r.Extent.Start-prevLBA)
+		n += binary.PutUvarint(buf[n:], uint64(r.Extent.Count))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prevTime = r.Time
+		prevLBA = r.Extent.Start
+	}
+	return bw.Flush()
+}
+
+// BinaryReader decodes the binary trace format.
+type BinaryReader struct {
+	br       *bufio.Reader
+	err      error
+	started  bool
+	prevTime int64
+	prevLBA  geom.Sector
+}
+
+// NewBinaryReader returns a Reader over binary trace input.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{br: bufio.NewReader(r)}
+}
+
+// Next implements Reader.
+func (b *BinaryReader) Next() (Record, bool) {
+	if b.err != nil {
+		return Record{}, false
+	}
+	if !b.started {
+		var magic [8]byte
+		if _, err := io.ReadFull(b.br, magic[:]); err != nil {
+			b.err = fmt.Errorf("binary trace: missing magic: %w", err)
+			return Record{}, false
+		}
+		if magic != BinaryMagic {
+			b.err = fmt.Errorf("binary trace: bad magic %q", magic)
+			return Record{}, false
+		}
+		b.started = true
+	}
+	flags, err := b.br.ReadByte()
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			b.err = err
+		}
+		return Record{}, false
+	}
+	var rec Record
+	if flags&flagWrite != 0 {
+		rec.Kind = disk.Write
+	}
+	if flags&flagHasTime != 0 {
+		dt, err := binary.ReadVarint(b.br)
+		if err != nil {
+			b.err = fmt.Errorf("binary trace: time delta: %w", truncated(err))
+			return Record{}, false
+		}
+		b.prevTime += dt
+	}
+	rec.Time = b.prevTime
+	dl, err := binary.ReadVarint(b.br)
+	if err != nil {
+		b.err = fmt.Errorf("binary trace: lba delta: %w", truncated(err))
+		return Record{}, false
+	}
+	b.prevLBA += dl
+	count, err := binary.ReadUvarint(b.br)
+	if err != nil {
+		b.err = fmt.Errorf("binary trace: sector count: %w", truncated(err))
+		return Record{}, false
+	}
+	if b.prevLBA < 0 || count == 0 || count > 1<<40 {
+		b.err = fmt.Errorf("binary trace: invalid record lba=%d count=%d", b.prevLBA, count)
+		return Record{}, false
+	}
+	rec.Extent = geom.Ext(b.prevLBA, int64(count))
+	return rec, true
+}
+
+// truncated maps EOF inside a record to an informative error.
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return errors.New("truncated record")
+	}
+	return err
+}
+
+// Err implements Reader.
+func (b *BinaryReader) Err() error { return b.err }

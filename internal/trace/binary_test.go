@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Time: 0, Kind: disk.Read, Extent: geom.Ext(100, 8)},
+		{Time: 1000, Kind: disk.Write, Extent: geom.Ext(50, 16)},
+		{Time: 1000, Kind: disk.Read, Extent: geom.Ext(1<<40, 1)}, // huge LBA
+		{Time: 5000, Kind: disk.Write, Extent: geom.Ext(0, 1)},    // backwards delta
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("rec %d: %v != %v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	// A sequential workload should cost only a few bytes per record.
+	var recs []Record
+	for i := int64(0); i < 1000; i++ {
+		recs = append(recs, Record{Time: i * 1000, Kind: disk.Write, Extent: geom.Ext(i*64, 64)})
+	}
+	var bin, csv bytes.Buffer
+	if err := WriteBinary(&bin, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCP(&csv, recs); err != nil {
+		t.Fatal(err)
+	}
+	perRec := float64(bin.Len()) / float64(len(recs))
+	if perRec > 8 {
+		t.Errorf("binary format costs %.1f bytes/record, want <= 8", perRec)
+	}
+	if bin.Len()*5 > csv.Len()*2 { // at least 2.5x smaller
+		t.Errorf("binary (%d B) not much smaller than CSV (%d B)", bin.Len(), csv.Len())
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	// Bad magic.
+	r := NewBinaryReader(strings.NewReader("NOTMAGIC"))
+	if _, ok := r.Next(); ok || r.Err() == nil {
+		t.Error("bad magic must fail")
+	}
+	// Missing magic (short input).
+	r = NewBinaryReader(strings.NewReader("XX"))
+	if _, ok := r.Next(); ok || r.Err() == nil {
+		t.Error("short magic must fail")
+	}
+	// Truncated record: magic + flags byte but nothing else.
+	var buf bytes.Buffer
+	buf.Write(BinaryMagic[:])
+	buf.WriteByte(flagHasTime)
+	r = NewBinaryReader(&buf)
+	if _, ok := r.Next(); ok || r.Err() == nil {
+		t.Error("truncated record must fail")
+	}
+	// Clean EOF after a full record is not an error.
+	var ok1 bytes.Buffer
+	if err := WriteBinary(&ok1, []Record{{Kind: disk.Read, Extent: geom.Ext(5, 5)}}); err != nil {
+		t.Fatal(err)
+	}
+	r = NewBinaryReader(&ok1)
+	if _, ok := r.Next(); !ok {
+		t.Fatal("first record should parse")
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("should be EOF")
+	}
+	if r.Err() != nil {
+		t.Errorf("clean EOF reported error: %v", r.Err())
+	}
+}
+
+func TestBinaryLargeWorkloadRoundTrip(t *testing.T) {
+	// Deterministic pseudo-random records.
+	var recs []Record
+	seed := uint64(9)
+	tm := int64(0)
+	for i := 0; i < 20000; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		tm += int64(seed % 1000000)
+		kind := disk.Read
+		if seed%2 == 0 {
+			kind = disk.Write
+		}
+		recs = append(recs, Record{Time: tm, Kind: kind,
+			Extent: geom.Ext(int64(seed%(1<<30)), int64(seed%512+1))})
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("lost records: %d vs %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("rec %d mismatch", i)
+		}
+	}
+}
+
+func BenchmarkBinaryWrite(b *testing.B) {
+	var recs []Record
+	for i := int64(0); i < 10000; i++ {
+		recs = append(recs, Record{Time: i * 1000, Kind: disk.Write, Extent: geom.Ext(i*64, 64)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryRead(b *testing.B) {
+	var recs []Record
+	for i := int64(0); i < 10000; i++ {
+		recs = append(recs, Record{Time: i * 1000, Kind: disk.Write, Extent: geom.Ext(i*64, 64)})
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAll(NewBinaryReader(bytes.NewReader(data))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSVRead(b *testing.B) {
+	var recs []Record
+	for i := int64(0); i < 10000; i++ {
+		recs = append(recs, Record{Time: i * 1000, Kind: disk.Write, Extent: geom.Ext(i*64, 64)})
+	}
+	var buf bytes.Buffer
+	if err := WriteCP(&buf, recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAll(NewCPReader(bytes.NewReader(data))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+)
+
+// Characteristics summarizes a trace the way the paper's Table I does:
+// operation counts, transferred volumes and mean write size, plus the
+// extras (footprint, max LBA) the simulator needs.
+type Characteristics struct {
+	ReadCount  int64
+	WriteCount int64
+
+	ReadBytes    int64
+	WrittenBytes int64
+
+	// MeanWriteKB is the mean write size in kilobytes (Table I's "mean
+	// write size" column).
+	MeanWriteKB float64
+	// MeanReadKB is the mean read size in kilobytes.
+	MeanReadKB float64
+
+	// MaxLBA is the highest end sector touched; the LS write frontier
+	// starts here.
+	MaxLBA geom.Sector
+
+	// Ops is the total operation count.
+	Ops int64
+}
+
+// ReadGB and WrittenGB convert volumes to the paper's GB units.
+func (c Characteristics) ReadGB() float64 { return float64(c.ReadBytes) / 1e9 }
+
+// WrittenGB returns the written volume in GB.
+func (c Characteristics) WrittenGB() float64 { return float64(c.WrittenBytes) / 1e9 }
+
+// WriteIntensity returns the fraction of operations that are writes. The
+// paper observes that write-intensive workloads tend to benefit from
+// log-structuring (SAF < 1) while read-intensive ones suffer.
+func (c Characteristics) WriteIntensity() float64 {
+	if c.Ops == 0 {
+		return 0
+	}
+	return float64(c.WriteCount) / float64(c.Ops)
+}
+
+// Characterize computes Table-I style statistics for a record slice.
+func Characterize(recs []Record) Characteristics {
+	var c Characteristics
+	for _, r := range recs {
+		bytes := r.Extent.Bytes()
+		switch r.Kind {
+		case disk.Read:
+			c.ReadCount++
+			c.ReadBytes += bytes
+		case disk.Write:
+			c.WriteCount++
+			c.WrittenBytes += bytes
+		}
+		if e := r.Extent.End(); e > c.MaxLBA {
+			c.MaxLBA = e
+		}
+	}
+	c.Ops = c.ReadCount + c.WriteCount
+	if c.WriteCount > 0 {
+		c.MeanWriteKB = float64(c.WrittenBytes) / float64(c.WriteCount) / 1024
+	}
+	if c.ReadCount > 0 {
+		c.MeanReadKB = float64(c.ReadBytes) / float64(c.ReadCount) / 1024
+	}
+	return c
+}

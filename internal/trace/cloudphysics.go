@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+)
+
+// The CloudPhysics traces used by the paper (Waldspurger et al., FAST '15)
+// were never published in a documented format, so we define a simple CSV
+// schema for interchange and use it for both parsing and emission:
+//
+//	# smrseek cloudphysics v1
+//	time_ns,op,lba,sectors
+//
+// where op is "R" or "W", lba and sectors are 512-byte sector units.
+// Lines starting with '#' are comments.
+
+// CPHeader is the header comment emitted at the top of CloudPhysics-style
+// trace files.
+const CPHeader = "# smrseek cloudphysics v1"
+
+// CPReader parses the CloudPhysics-style CSV defined above.
+type CPReader struct {
+	s    *bufio.Scanner
+	err  error
+	line int
+}
+
+// NewCPReader returns a reader over CloudPhysics-style CSV input.
+func NewCPReader(r io.Reader) *CPReader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &CPReader{s: s}
+}
+
+// Next implements Reader.
+func (c *CPReader) Next() (Record, bool) {
+	if c.err != nil {
+		return Record{}, false
+	}
+	for c.s.Scan() {
+		c.line++
+		line := strings.TrimSpace(c.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseCPLine(line)
+		if err != nil {
+			c.err = fmt.Errorf("cloudphysics trace line %d: %w", c.line, err)
+			return Record{}, false
+		}
+		if rec.Extent.Empty() {
+			continue
+		}
+		return rec, true
+	}
+	c.err = c.s.Err()
+	return Record{}, false
+}
+
+func parseCPLine(line string) (Record, error) {
+	f := strings.Split(line, ",")
+	if len(f) != 4 {
+		return Record{}, fmt.Errorf("want 4 fields, got %d", len(f))
+	}
+	ts, err := strconv.ParseInt(strings.TrimSpace(f[0]), 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("time: %w", err)
+	}
+	var kind disk.OpKind
+	switch strings.TrimSpace(f[1]) {
+	case "R", "r":
+		kind = disk.Read
+	case "W", "w":
+		kind = disk.Write
+	default:
+		return Record{}, fmt.Errorf("unknown op %q", f[1])
+	}
+	lba, err := strconv.ParseInt(strings.TrimSpace(f[2]), 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("lba: %w", err)
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(f[3]), 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("sectors: %w", err)
+	}
+	if lba < 0 || n < 0 {
+		return Record{}, fmt.Errorf("negative lba/sectors (%d/%d)", lba, n)
+	}
+	return Record{Time: ts, Kind: kind, Extent: geom.Ext(lba, n)}, nil
+}
+
+// Err implements Reader.
+func (c *CPReader) Err() error { return c.err }
+
+// WriteCP writes records in the CloudPhysics-style CSV schema.
+func WriteCP(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, CPHeader); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		op := "R"
+		if r.Kind == disk.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%s,%d,%d\n", r.Time, op, r.Extent.Start, r.Extent.Count); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"smrseek/internal/geom"
+)
+
+// Filter utilities: stream transforms applied between a trace source and
+// the simulator. Each returns a Reader so transforms compose.
+
+// filterReader applies keep/transform functions to an inner reader.
+type filterReader struct {
+	inner Reader
+	fn    func(Record) (Record, bool)
+}
+
+// Next implements Reader.
+func (f *filterReader) Next() (Record, bool) {
+	for {
+		r, ok := f.inner.Next()
+		if !ok {
+			return Record{}, false
+		}
+		if out, keep := f.fn(r); keep {
+			return out, true
+		}
+	}
+}
+
+// Err implements Reader.
+func (f *filterReader) Err() error { return f.inner.Err() }
+
+// Transform returns a Reader applying fn to every record; fn may drop a
+// record by returning keep=false.
+func Transform(inner Reader, fn func(Record) (Record, bool)) Reader {
+	return &filterReader{inner: inner, fn: fn}
+}
+
+// Limit keeps only the first n records.
+func Limit(inner Reader, n int64) Reader {
+	var seen int64
+	return Transform(inner, func(r Record) (Record, bool) {
+		if seen >= n {
+			return Record{}, false
+		}
+		seen++
+		return r, true
+	})
+}
+
+// Sample keeps every k-th record (k >= 1), a crude but deterministic way
+// to cut a long trace down (the paper also samples its traces).
+func Sample(inner Reader, k int64) Reader {
+	if k < 1 {
+		k = 1
+	}
+	var i int64
+	return Transform(inner, func(r Record) (Record, bool) {
+		keep := i%k == 0
+		i++
+		return r, keep
+	})
+}
+
+// ClipLBA drops records outside [0, maxSector) and truncates records
+// straddling the boundary.
+func ClipLBA(inner Reader, maxSector geom.Sector) Reader {
+	bounds := geom.Ext(0, maxSector)
+	return Transform(inner, func(r Record) (Record, bool) {
+		clipped := r.Extent.Clamp(bounds)
+		if clipped.Empty() {
+			return Record{}, false
+		}
+		r.Extent = clipped
+		return r, true
+	})
+}
+
+// RebaseTime shifts all timestamps so the first record is at t=0.
+func RebaseTime(inner Reader) Reader {
+	first := true
+	var base int64
+	return Transform(inner, func(r Record) (Record, bool) {
+		if first {
+			base = r.Time
+			first = false
+		}
+		r.Time -= base
+		return r, true
+	})
+}

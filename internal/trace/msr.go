@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+)
+
+// The MSR Cambridge traces (Narayanan et al., FAST '08) are CSV files
+// with one I/O per line:
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// Timestamp is a Windows FILETIME (100 ns ticks since 1601-01-01), Type
+// is "Read" or "Write", Offset and Size are in bytes, ResponseTime is in
+// the same 100 ns ticks. Offsets and sizes are not necessarily
+// sector-aligned; we round the extent outward to whole sectors, which is
+// what a block layer would issue.
+
+// MSRReader parses MSR Cambridge format traces.
+type MSRReader struct {
+	s    *bufio.Scanner
+	err  error
+	line int
+	// DiskFilter, when >= 0, keeps only records for that disk number.
+	diskFilter int
+	// Raw FILETIME values are ~1.2e17 ticks; converting to nanoseconds
+	// would overflow int64, so timestamps are rebased to the first
+	// record (Record.Time's epoch is arbitrary by contract).
+	baseTicks int64
+	haveBase  bool
+}
+
+// NewMSRReader returns a reader over MSR CSV input. diskFilter selects a
+// single disk number, or pass -1 to keep every disk.
+func NewMSRReader(r io.Reader, diskFilter int) *MSRReader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &MSRReader{s: s, diskFilter: diskFilter}
+}
+
+// Next implements Reader.
+func (m *MSRReader) Next() (Record, bool) {
+	if m.err != nil {
+		return Record{}, false
+	}
+	for m.s.Scan() {
+		m.line++
+		line := strings.TrimSpace(m.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, keep, err := m.parseLine(line)
+		if err != nil {
+			m.err = fmt.Errorf("msr trace line %d: %w", m.line, err)
+			return Record{}, false
+		}
+		if keep {
+			return rec, true
+		}
+	}
+	m.err = m.s.Err()
+	return Record{}, false
+}
+
+func (m *MSRReader) parseLine(line string) (Record, bool, error) {
+	f := strings.Split(line, ",")
+	if len(f) < 6 {
+		return Record{}, false, fmt.Errorf("want >=6 fields, got %d", len(f))
+	}
+	ts, err := strconv.ParseInt(strings.TrimSpace(f[0]), 10, 64)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("timestamp: %w", err)
+	}
+	diskNum, err := strconv.Atoi(strings.TrimSpace(f[2]))
+	if err != nil {
+		return Record{}, false, fmt.Errorf("disk number: %w", err)
+	}
+	if m.diskFilter >= 0 && diskNum != m.diskFilter {
+		return Record{}, false, nil
+	}
+	var kind disk.OpKind
+	switch strings.ToLower(strings.TrimSpace(f[3])) {
+	case "read":
+		kind = disk.Read
+	case "write":
+		kind = disk.Write
+	default:
+		return Record{}, false, fmt.Errorf("unknown op type %q", f[3])
+	}
+	offset, err := strconv.ParseInt(strings.TrimSpace(f[4]), 10, 64)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("offset: %w", err)
+	}
+	size, err := strconv.ParseInt(strings.TrimSpace(f[5]), 10, 64)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("size: %w", err)
+	}
+	if offset < 0 || size < 0 {
+		return Record{}, false, fmt.Errorf("negative offset/size (%d/%d)", offset, size)
+	}
+	ext := byteRangeToExtent(offset, size)
+	if ext.Empty() {
+		return Record{}, false, nil // zero-length I/O: drop
+	}
+	if !m.haveBase {
+		m.baseTicks = ts
+		m.haveBase = true
+	}
+	// FILETIME ticks are 100 ns; rebased to the first record.
+	return Record{Time: (ts - m.baseTicks) * 100, Kind: kind, Extent: ext}, true, nil
+}
+
+// Err implements Reader.
+func (m *MSRReader) Err() error { return m.err }
+
+// byteRangeToExtent rounds a byte range outward to whole sectors.
+func byteRangeToExtent(offset, size int64) geom.Extent {
+	if size <= 0 {
+		return geom.Extent{}
+	}
+	start := offset / geom.SectorSize
+	end := (offset + size + geom.SectorSize - 1) / geom.SectorSize
+	return geom.Span(start, end)
+}
+
+// WriteMSR writes records in MSR Cambridge CSV format with the given
+// hostname and disk number.
+func WriteMSR(w io.Writer, host string, diskNum int, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		op := "Read"
+		if r.Kind == disk.Write {
+			op = "Write"
+		}
+		// Time is ns; FILETIME ticks are 100 ns. Response time is not
+		// modelled: write 0.
+		_, err := fmt.Fprintf(bw, "%d,%s,%d,%s,%d,%d,0\n",
+			r.Time/100, host, diskNum, op,
+			r.Extent.Start*geom.SectorSize, r.Extent.Bytes())
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,35 @@
+package workload
+
+import "testing"
+
+func BenchmarkGenerate(b *testing.B) {
+	for _, name := range []string{"hm_1", "w91", "w36"} {
+		p, err := ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				n = len(p.Generate(0.2))
+			}
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkZipf(b *testing.B) {
+	r := NewRNG(2)
+	z := NewZipf(r, 1000, 1.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"smrseek/internal/geom"
+	"smrseek/internal/trace"
+)
+
+func TestFitEmptyTrace(t *testing.T) {
+	if _, err := Fit("x", nil, 1); err == nil {
+		t.Fatal("empty trace must error")
+	}
+}
+
+func TestFitRecoversBasicShape(t *testing.T) {
+	// Fit a profile to a catalog workload's output and check the coarse
+	// knobs come back in the right ballpark.
+	orig, _ := ByName("w91")
+	recs := orig.Generate(0.3)
+	fitted, err := Fit("w91-fit", recs, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitted.Name != "w91-fit" || fitted.BaseOps != len(recs) {
+		t.Errorf("identity fields: %+v", fitted)
+	}
+	ch := trace.Characterize(recs)
+	if math.Abs(fitted.WriteFrac-ch.WriteIntensity()) > 0.01 {
+		t.Errorf("WriteFrac %v vs observed %v", fitted.WriteFrac, ch.WriteIntensity())
+	}
+	// w91 is scan-heavy: the fit must detect substantial sequentiality.
+	if fitted.ScanFrac < 0.3 {
+		t.Errorf("ScanFrac = %v, want >= 0.3 for a scan-heavy trace", fitted.ScanFrac)
+	}
+	// w91 has mis-ordered bursts: the fit must enable them.
+	if fitted.MisorderFrac == 0 {
+		t.Error("misorder not detected")
+	}
+	// And hot reuse.
+	if fitted.HotRanges == 0 || fitted.HotReadFrac == 0 {
+		t.Error("hot reuse not detected")
+	}
+}
+
+func TestFitProfileIsGeneratable(t *testing.T) {
+	orig, _ := ByName("usr_0")
+	recs := orig.Generate(0.2)
+	fitted, err := Fit("usr_0-fit", recs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fitted.Generate(0.5)
+	if len(out) < 500 {
+		t.Fatalf("fitted profile generated only %d records", len(out))
+	}
+	// The regenerated trace's write intensity tracks the original's.
+	chOrig := trace.Characterize(recs)
+	chNew := trace.Characterize(out)
+	if math.Abs(chOrig.WriteIntensity()-chNew.WriteIntensity()) > 0.15 {
+		t.Errorf("write intensity drifted: %v vs %v", chOrig.WriteIntensity(), chNew.WriteIntensity())
+	}
+}
+
+func TestFitWriteOnlyTrace(t *testing.T) {
+	// A trace with no reads still fits (read knobs stay zero).
+	orig, _ := ByName("w36")
+	recs := orig.Generate(0.05)
+	fitted, err := Fit("w36-fit", recs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitted.WriteFrac < 0.8 {
+		t.Errorf("WriteFrac = %v", fitted.WriteFrac)
+	}
+	if _, err := Fit("seq", []trace.Record{
+		{Kind: 1, Extent: geom.Ext(0, 8)},
+		{Kind: 1, Extent: geom.Ext(8, 8)},
+	}, 1); err != nil {
+		t.Fatalf("minimal trace fit: %v", err)
+	}
+}

@@ -1,0 +1,400 @@
+package workload
+
+import (
+	"fmt"
+
+	"smrseek/internal/geom"
+	"smrseek/internal/trace"
+)
+
+// Source tags which trace family a synthetic workload stands in for.
+type Source int
+
+const (
+	// MSR marks stand-ins for the MSR Cambridge traces.
+	MSR Source = iota
+	// CloudPhysics marks stand-ins for the CloudPhysics traces.
+	CloudPhysics
+)
+
+// String names the source family.
+func (s Source) String() string {
+	if s == MSR {
+		return "MSR"
+	}
+	return "CloudPhysics"
+}
+
+// Profile parameterizes the composite workload engine. Each named
+// workload in the catalog is one Profile whose knobs reproduce the
+// qualitative behaviour the paper reports for the trace of the same name:
+// write intensity (Table I), fragmentation-driving updates, repeated or
+// roaming scans, hot-range reuse (Figure 10 skew), temporal-order reads,
+// mis-ordered write bursts (Figures 7–8) and diurnal phasing (Figure 3).
+type Profile struct {
+	Name   string
+	Source Source
+	OS     string // Table I's OS column, for reporting
+	Seed   uint64
+
+	// BaseOps is the approximate record count at scale 1.0.
+	BaseOps int
+	// WriteFrac is the fraction of operations that are writes.
+	WriteFrac float64
+
+	// RegionSectors is the LBA span of the simulated device usage.
+	RegionSectors int64
+	// WriteSectors / ReadSectors are mean bulk I/O sizes.
+	WriteSectors int64
+	ReadSectors  int64
+
+	// Hot working set: HotRanges ranges of HotRangeSectors each receive
+	// HotReadFrac of reads, rank-skewed by HotZipf. Updates fragment
+	// them; re-reads make caching (and defrag) pay off.
+	HotRanges       int
+	HotRangeSectors int64
+	HotReadFrac     float64
+	HotZipf         float64
+
+	// UpdateFrac of writes are UpdateSectors-sized random updates into
+	// hot ranges or scan territory — the fragmentation source.
+	UpdateFrac    float64
+	UpdateSectors int64
+	// UpdateHotBias is the probability an update targets a hot range
+	// rather than the scan span. Low bias sends fragmentation to
+	// scan-once territory, where defragmentation pays its frontier seek
+	// and never collects (the w20 shape).
+	UpdateHotBias float64
+
+	// ScanFrac of reads are sequential ScanChunk-sized pieces. With
+	// ScanRepeat the scan loops over one ScanSpanSectors region (re-reads
+	// amortize defrag/cache); without it the scan roams fresh territory
+	// (fragmented ranges are read once — defrag pays and never collects).
+	ScanFrac        float64
+	ScanChunk       int64
+	ScanSpanSectors int64
+	ScanRepeat      bool
+
+	// TemporalFrac of reads replay recently written extents in write
+	// order — the log-friendly pattern that *reduces* read seeks under LS.
+	TemporalFrac float64
+
+	// OverlapReadFrac of reads are ReadSectors-sized reads at *random*
+	// offsets within the scan span. Their boundaries never align, so an
+	// opportunistic defragmenter that writes each read range back to the
+	// frontier fragments the neighbouring, overlapping ranges — the
+	// paper's t_F effect (Figure 6) — and churns: this is what makes
+	// defrag a net loss on workloads like w20 (§V).
+	OverlapReadFrac float64
+
+	// MisorderFrac of write operations are emitted as mis-ordered bursts
+	// of MisorderChunks × MisorderChunk sectors in the given pattern,
+	// aimed at scan territory so look-ahead-behind prefetching can repair
+	// them (Figure 9).
+	MisorderFrac    float64
+	MisorderChunks  int
+	MisorderChunk   int64
+	MisorderPattern MisorderPattern
+
+	// Phases > 1 modulates read/write emphasis across the run in
+	// Phases alternating half-day-like segments (Figure 3's swings).
+	Phases int
+}
+
+// Validate reports obviously broken profiles.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile without a name")
+	}
+	if p.BaseOps <= 0 {
+		return fmt.Errorf("workload %s: BaseOps must be positive", p.Name)
+	}
+	if p.RegionSectors <= 0 {
+		return fmt.Errorf("workload %s: RegionSectors must be positive", p.Name)
+	}
+	if p.WriteFrac < 0 || p.WriteFrac > 1 {
+		return fmt.Errorf("workload %s: WriteFrac out of [0,1]", p.Name)
+	}
+	for _, f := range []float64{p.HotReadFrac, p.ScanFrac, p.TemporalFrac, p.OverlapReadFrac, p.UpdateFrac, p.MisorderFrac, p.UpdateHotBias} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("workload %s: fraction out of [0,1]", p.Name)
+		}
+	}
+	if p.HotReadFrac+p.ScanFrac+p.TemporalFrac+p.OverlapReadFrac > 1 {
+		return fmt.Errorf("workload %s: read fractions sum beyond 1", p.Name)
+	}
+	return nil
+}
+
+// Generate produces the workload's record stream at the given scale
+// (1.0 ≈ BaseOps operations). Same profile + scale ⇒ identical stream.
+func (p Profile) Generate(scale float64) []trace.Record {
+	if scale <= 0 {
+		scale = 1
+	}
+	ops := int(float64(p.BaseOps) * scale)
+	if ops < 100 {
+		ops = 100
+	}
+	g := newGenState(p)
+	for g.b.Len() < ops {
+		g.step(ops)
+	}
+	return g.b.Records()
+}
+
+// genState is the running state of the composite engine.
+type genState struct {
+	p   Profile
+	rng *RNG
+	b   *Builder
+
+	hot     []geom.Extent
+	hotZipf *Zipf
+
+	scanCursor geom.Sector
+	scanBase   geom.Sector
+	scanSpan   int64
+
+	// temporal replay queue of recently written extents.
+	replay []geom.Extent
+}
+
+const maxReplayQueue = 8192
+
+func newGenState(p Profile) *genState {
+	g := &genState{p: p, rng: NewRNG(p.Seed), b: NewBuilder(0)}
+	if p.HotRanges > 0 {
+		size := p.HotRangeSectors
+		if size <= 0 {
+			size = 256
+		}
+		for i := 0; i < p.HotRanges; i++ {
+			start := g.rng.Int63n(max64(p.RegionSectors-size, 1))
+			g.hot = append(g.hot, geom.Ext(start, size))
+		}
+		z := p.HotZipf
+		if z <= 0 {
+			z = 1.0
+		}
+		g.hotZipf = NewZipf(g.rng, p.HotRanges, z)
+	}
+	g.scanSpan = p.ScanSpanSectors
+	if g.scanSpan <= 0 {
+		g.scanSpan = p.RegionSectors / 4
+	}
+	if g.scanSpan > p.RegionSectors {
+		g.scanSpan = p.RegionSectors
+	}
+	g.scanBase = g.rng.Int63n(max64(p.RegionSectors-g.scanSpan+1, 1))
+	g.scanCursor = g.scanBase
+	return g
+}
+
+// writeFracAt modulates write emphasis across diurnal phases.
+func (g *genState) writeFracAt(totalOps int) float64 {
+	w := g.p.WriteFrac
+	if g.p.Phases <= 1 || totalOps == 0 {
+		return w
+	}
+	phase := g.b.Len() * g.p.Phases / totalOps
+	if phase%2 == 0 {
+		w *= 1.5
+	} else {
+		w *= 0.5
+	}
+	if w > 0.95 {
+		w = 0.95
+	}
+	return w
+}
+
+// writeDecisionProb converts a target *record-level* write fraction into
+// the per-step decision probability, compensating for mis-ordered bursts
+// that emit several write records from a single decision.
+func (g *genState) writeDecisionProb(recordFrac float64) float64 {
+	e := 1.0 // expected records per write decision
+	if g.p.MisorderChunks > 0 {
+		e = g.p.MisorderFrac*float64(g.p.MisorderChunks) + (1 - g.p.MisorderFrac)
+	}
+	denom := e*(1-recordFrac) + recordFrac
+	if denom <= 0 {
+		return recordFrac
+	}
+	return recordFrac / denom
+}
+
+func (g *genState) step(totalOps int) {
+	if g.rng.Bool(g.writeDecisionProb(g.writeFracAt(totalOps))) {
+		g.stepWrite()
+	} else {
+		g.stepRead()
+	}
+}
+
+func (g *genState) stepWrite() {
+	p := g.p
+	r := g.rng.Float64()
+	switch {
+	case r < p.MisorderFrac && p.MisorderChunks > 0:
+		g.misorderBurst()
+	case r < p.MisorderFrac+p.UpdateFrac:
+		g.update()
+	default:
+		g.bulkWrite()
+	}
+}
+
+// misorderBurst writes a contiguous range inside the scan span (so a
+// later scan crosses it) in a non-ascending order.
+func (g *genState) misorderBurst() {
+	p := g.p
+	chunk := p.MisorderChunk
+	if chunk <= 0 {
+		chunk = 16
+	}
+	span := int64(p.MisorderChunks) * chunk
+	limit := max64(g.scanSpan-span, 1)
+	start := g.scanBase + g.rng.Int63n(limit)
+	pat := p.MisorderPattern
+	if pat == Shuffled {
+		g.b.MisorderedWrite(start, p.MisorderChunks, chunk, Shuffled, g.rng)
+	} else {
+		g.b.MisorderedWrite(start, p.MisorderChunks, chunk, pat, nil)
+	}
+	g.noteWrite(geom.Ext(start, span))
+}
+
+// update issues one small write into hot or scan territory, fragmenting
+// whatever read range covers it.
+func (g *genState) update() {
+	p := g.p
+	size := p.UpdateSectors
+	if size <= 0 {
+		size = 8
+	}
+	var target geom.Extent
+	if len(g.hot) > 0 && g.rng.Bool(p.UpdateHotBias) {
+		// Updates pick hot ranges uniformly, NOT by read popularity:
+		// correlating update and read skew would compound fragmentation
+		// on the hottest range far beyond anything in the traces.
+		target = g.hot[g.rng.Intn(len(g.hot))]
+	} else {
+		target = geom.Ext(g.scanBase, g.scanSpan)
+	}
+	if target.Count <= size {
+		g.b.WriteExtent(target)
+		g.noteWrite(target)
+		return
+	}
+	off := g.rng.Int63n(target.Count - size)
+	e := geom.Ext(target.Start+off, size)
+	g.b.WriteExtent(e)
+	g.noteWrite(e)
+}
+
+// bulkWrite is a plain write at a uniform position.
+func (g *genState) bulkWrite() {
+	p := g.p
+	size := p.WriteSectors
+	if size <= 0 {
+		size = 64
+	}
+	// Vary size ±50% for a realistic mix.
+	size = size/2 + g.rng.Int63n(size)
+	start := g.rng.Int63n(max64(p.RegionSectors-size, 1))
+	e := geom.Ext(start, size)
+	g.b.WriteExtent(e)
+	g.noteWrite(e)
+}
+
+func (g *genState) noteWrite(e geom.Extent) {
+	if g.p.TemporalFrac <= 0 {
+		return
+	}
+	g.replay = append(g.replay, e)
+	if len(g.replay) > maxReplayQueue {
+		g.replay = g.replay[len(g.replay)-maxReplayQueue:]
+	}
+}
+
+func (g *genState) stepRead() {
+	p := g.p
+	r := g.rng.Float64()
+	switch {
+	case r < p.HotReadFrac && len(g.hot) > 0:
+		g.b.ReadExtent(g.hot[g.hotZipf.Next()])
+	case r < p.HotReadFrac+p.ScanFrac:
+		g.scanChunkRead()
+	case r < p.HotReadFrac+p.ScanFrac+p.TemporalFrac && len(g.replay) > 0:
+		// Replay the oldest unread write — reads in write order.
+		e := g.replay[0]
+		g.replay = g.replay[1:]
+		g.b.ReadExtent(e)
+	case r < p.HotReadFrac+p.ScanFrac+p.TemporalFrac+p.OverlapReadFrac:
+		g.overlapRead()
+	default:
+		g.uniformRead()
+	}
+}
+
+// overlapRead reads a randomly-placed extent inside the scan span; such
+// reads overlap each other at arbitrary boundaries.
+func (g *genState) overlapRead() {
+	size := g.p.ReadSectors
+	if size <= 0 {
+		size = 32
+	}
+	size = size/2 + g.rng.Int63n(size)
+	if size >= g.scanSpan {
+		size = max64(g.scanSpan-1, 1)
+	}
+	off := g.rng.Int63n(g.scanSpan - size)
+	g.b.Read(g.scanBase+off, size)
+}
+
+// scanChunkRead emits the next sequential chunk of the active scan.
+func (g *genState) scanChunkRead() {
+	p := g.p
+	chunk := p.ScanChunk
+	if chunk <= 0 {
+		chunk = 256
+	}
+	if g.scanCursor+chunk > g.scanBase+g.scanSpan {
+		// Scan pass finished: loop (ScanRepeat) or walk on to fresh
+		// ground. Non-repeating scans advance *sequentially* through the
+		// region (wrapping at the end) so ground is not revisited until
+		// the whole region has been covered — fragmented ranges really
+		// are read once, which is what makes opportunistic defrag a pure
+		// cost on these workloads.
+		if p.ScanRepeat {
+			g.scanCursor = g.scanBase
+		} else {
+			g.scanBase += g.scanSpan
+			if g.scanBase+g.scanSpan > p.RegionSectors {
+				g.scanBase = 0
+			}
+			g.scanCursor = g.scanBase
+		}
+	}
+	g.b.Read(g.scanCursor, chunk)
+	g.scanCursor += chunk
+}
+
+func (g *genState) uniformRead() {
+	p := g.p
+	size := p.ReadSectors
+	if size <= 0 {
+		size = 32
+	}
+	size = size/2 + g.rng.Int63n(size)
+	start := g.rng.Int63n(max64(p.RegionSectors-size, 1))
+	g.b.Read(start, size)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,192 @@
+// Package zone models the zoned block device abstraction SMR drives
+// expose (paper §II): the platter is divided into zones separated by
+// guard tracks; each zone must be written strictly sequentially at its
+// write pointer, and may be reset to be rewritten from the start — the
+// same model the Zoned Block Device extensions to SCSI/SATA standardize,
+// and "almost identical to the NAND flash model".
+//
+// Translation layers in this repository address a flat physical sector
+// space; a Device validates that the physical write stream they emit is
+// actually realizable on zoned media, so layer implementations cannot
+// silently cheat the sequential-write constraint.
+package zone
+
+import (
+	"fmt"
+
+	"smrseek/internal/geom"
+)
+
+// Kind distinguishes conventional (randomly writable) zones from
+// sequential-write-required zones.
+type Kind uint8
+
+const (
+	// SequentialRequired zones accept writes only at the write pointer.
+	SequentialRequired Kind = iota
+	// Conventional zones accept writes anywhere (drives reserve a few
+	// for metadata and media caches).
+	Conventional
+)
+
+// Zone is one zone's state.
+type Zone struct {
+	Index  int
+	Extent geom.Extent // physical sectors covered
+	Kind   Kind
+	// WP is the write pointer: the next sector a sequential-required
+	// zone will accept. Invariant: Extent.Start <= WP <= Extent.End().
+	WP geom.Sector
+}
+
+// Full reports whether the zone has been written to its end.
+func (z *Zone) Full() bool { return z.WP == z.Extent.End() }
+
+// Empty reports whether the zone holds no data.
+func (z *Zone) Empty() bool { return z.WP == z.Extent.Start }
+
+// WrittenSectors returns how many sectors the zone currently holds.
+func (z *Zone) WrittenSectors() int64 { return z.WP - z.Extent.Start }
+
+// Device is a zoned address space: totalSectors divided into fixed-size
+// zones, the first conventionalZones of which are conventional.
+type Device struct {
+	zoneSectors int64
+	zones       []Zone
+
+	writes     int64
+	resets     int64
+	violations int64
+}
+
+// NewDevice builds a device of totalSectors (rounded down to whole
+// zones) with the given zone size; the first conventionalZones zones are
+// conventional. Panics on non-positive zone size.
+func NewDevice(totalSectors, zoneSectors int64, conventionalZones int) *Device {
+	if zoneSectors <= 0 {
+		panic("zone: non-positive zone size")
+	}
+	n := int(totalSectors / zoneSectors)
+	d := &Device{zoneSectors: zoneSectors, zones: make([]Zone, n)}
+	for i := range d.zones {
+		start := int64(i) * zoneSectors
+		k := SequentialRequired
+		if i < conventionalZones {
+			k = Conventional
+		}
+		d.zones[i] = Zone{
+			Index:  i,
+			Extent: geom.Ext(start, zoneSectors),
+			Kind:   k,
+			WP:     start,
+		}
+	}
+	return d
+}
+
+// ZoneSectors returns the zone size in sectors.
+func (d *Device) ZoneSectors() int64 { return d.zoneSectors }
+
+// Zones returns the number of zones.
+func (d *Device) Zones() int { return len(d.zones) }
+
+// Zone returns the zone containing the physical sector, or nil when out
+// of range.
+func (d *Device) Zone(s geom.Sector) *Zone {
+	i := int(s / d.zoneSectors)
+	if s < 0 || i >= len(d.zones) {
+		return nil
+	}
+	return &d.zones[i]
+}
+
+// ZoneByIndex returns the i-th zone, or nil when out of range.
+func (d *Device) ZoneByIndex(i int) *Zone {
+	if i < 0 || i >= len(d.zones) {
+		return nil
+	}
+	return &d.zones[i]
+}
+
+// Write validates and applies a physical write. Sequential-required
+// zones accept the write only if it starts exactly at the write pointer
+// and ends within the zone; conventional zones accept any in-zone write.
+// Writes may not straddle a zone boundary (split them first).
+func (d *Device) Write(ext geom.Extent) error {
+	if ext.Empty() {
+		return nil
+	}
+	z := d.Zone(ext.Start)
+	if z == nil {
+		d.violations++
+		return fmt.Errorf("zone: write %v outside device", ext)
+	}
+	if !z.Extent.ContainsExtent(ext) {
+		d.violations++
+		return fmt.Errorf("zone: write %v straddles zone %d boundary %v", ext, z.Index, z.Extent)
+	}
+	if z.Kind == SequentialRequired {
+		if ext.Start != z.WP {
+			d.violations++
+			return fmt.Errorf("zone: write %v not at zone %d write pointer %d", ext, z.Index, z.WP)
+		}
+		z.WP = ext.End()
+	} else if ext.End() > z.WP {
+		// Conventional zones track a high-water mark for accounting.
+		z.WP = ext.End()
+	}
+	d.writes++
+	return nil
+}
+
+// WriteSplit applies a write that may span zones by splitting it at
+// boundaries; each piece is validated in order.
+func (d *Device) WriteSplit(ext geom.Extent) error {
+	for !ext.Empty() {
+		z := d.Zone(ext.Start)
+		if z == nil {
+			d.violations++
+			return fmt.Errorf("zone: write %v outside device", ext)
+		}
+		piece := ext.Intersect(z.Extent)
+		if err := d.Write(piece); err != nil {
+			return err
+		}
+		ext = geom.Span(piece.End(), ext.End())
+	}
+	return nil
+}
+
+// Reset rewinds a zone's write pointer, discarding its contents.
+func (d *Device) Reset(index int) error {
+	z := d.ZoneByIndex(index)
+	if z == nil {
+		return fmt.Errorf("zone: reset of unknown zone %d", index)
+	}
+	z.WP = z.Extent.Start
+	d.resets++
+	return nil
+}
+
+// Readable reports whether every sector of ext has been written (reads
+// beyond a write pointer return no valid data on real devices).
+func (d *Device) Readable(ext geom.Extent) bool {
+	for !ext.Empty() {
+		z := d.Zone(ext.Start)
+		if z == nil {
+			return false
+		}
+		piece := ext.Intersect(z.Extent)
+		if piece.End() > z.WP {
+			return false
+		}
+		ext = geom.Span(piece.End(), ext.End())
+	}
+	return true
+}
+
+// Stats returns the operation counters: validated writes, resets and
+// rejected (constraint-violating) operations.
+func (d *Device) Stats() (writes, resets, violations int64) {
+	return d.writes, d.resets, d.violations
+}

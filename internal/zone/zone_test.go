@@ -1,0 +1,162 @@
+package zone
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smrseek/internal/geom"
+)
+
+func TestNewDeviceLayout(t *testing.T) {
+	d := NewDevice(1000, 100, 2)
+	if d.Zones() != 10 || d.ZoneSectors() != 100 {
+		t.Fatalf("zones=%d size=%d", d.Zones(), d.ZoneSectors())
+	}
+	if z := d.ZoneByIndex(0); z.Kind != Conventional {
+		t.Error("zone 0 should be conventional")
+	}
+	if z := d.ZoneByIndex(2); z.Kind != SequentialRequired {
+		t.Error("zone 2 should be sequential-required")
+	}
+	if z := d.Zone(250); z.Index != 2 || z.Extent != geom.Ext(200, 100) {
+		t.Errorf("Zone(250) = %+v", z)
+	}
+	if d.Zone(-1) != nil || d.Zone(10000) != nil {
+		t.Error("out-of-range sectors must return nil")
+	}
+	if d.ZoneByIndex(-1) != nil || d.ZoneByIndex(10) != nil {
+		t.Error("out-of-range indexes must return nil")
+	}
+}
+
+func TestNewDevicePanicsOnBadZoneSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewDevice(100, 0, 0)
+}
+
+func TestSequentialWriteConstraint(t *testing.T) {
+	d := NewDevice(1000, 100, 0)
+	if err := d.Write(geom.Ext(0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	// Next write must continue at the write pointer.
+	if err := d.Write(geom.Ext(50, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(geom.Ext(80, 10)); err == nil {
+		t.Fatal("write past the pointer must be rejected")
+	}
+	if err := d.Write(geom.Ext(0, 10)); err == nil {
+		t.Fatal("rewrite without reset must be rejected")
+	}
+	z := d.Zone(0)
+	if z.WP != 60 || z.WrittenSectors() != 60 {
+		t.Errorf("WP = %d", z.WP)
+	}
+	if z.Full() || z.Empty() {
+		t.Error("zone should be neither full nor empty")
+	}
+	_, _, violations := d.Stats()
+	if violations != 2 {
+		t.Errorf("violations = %d", violations)
+	}
+}
+
+func TestConventionalZoneAllowsRandomWrites(t *testing.T) {
+	d := NewDevice(1000, 100, 1)
+	if err := d.Write(geom.Ext(80, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(geom.Ext(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Zone(0).WP != 90 {
+		t.Errorf("high-water mark = %d", d.Zone(0).WP)
+	}
+}
+
+func TestWriteStraddleRejectedAndSplitAccepted(t *testing.T) {
+	d := NewDevice(1000, 100, 0)
+	// Fill zone 0 so a straddling split continues into zone 1 legally.
+	if err := d.Write(geom.Ext(0, 90)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(geom.Ext(90, 20)); err == nil {
+		t.Fatal("straddling write must be rejected by Write")
+	}
+	if err := d.WriteSplit(geom.Ext(90, 20)); err != nil {
+		t.Fatalf("WriteSplit: %v", err)
+	}
+	if !d.Zone(0).Full() {
+		t.Error("zone 0 should be full")
+	}
+	if d.Zone(100).WP != 110 {
+		t.Errorf("zone 1 WP = %d", d.Zone(100).WP)
+	}
+	if err := d.WriteSplit(geom.Ext(2000, 10)); err == nil {
+		t.Error("out-of-device split must error")
+	}
+}
+
+func TestResetAndReadable(t *testing.T) {
+	d := NewDevice(1000, 100, 0)
+	if err := d.WriteSplit(geom.Ext(0, 150)); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Readable(geom.Ext(0, 150)) {
+		t.Error("written range must be readable")
+	}
+	if d.Readable(geom.Ext(0, 200)) {
+		t.Error("unwritten tail must not be readable")
+	}
+	if d.Readable(geom.Ext(5000, 1)) {
+		t.Error("out-of-device must not be readable")
+	}
+	if err := d.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Zone(0).Empty() {
+		t.Error("reset zone should be empty")
+	}
+	if d.Readable(geom.Ext(0, 10)) {
+		t.Error("reset zone contents must be unreadable")
+	}
+	if err := d.Reset(99); err == nil {
+		t.Error("unknown zone reset must error")
+	}
+	writes, resets, _ := d.Stats()
+	if writes != 2 || resets != 1 {
+		t.Errorf("writes=%d resets=%d", writes, resets)
+	}
+	if err := d.Write(geom.Extent{}); err != nil {
+		t.Error("empty write is a no-op")
+	}
+}
+
+// Property: any sequence of append-at-WP writes into a zone is accepted
+// until the zone is full, and the WP equals the sum of accepted lengths.
+func TestAppendAlwaysAcceptedProperty(t *testing.T) {
+	f := func(lens []uint8) bool {
+		d := NewDevice(1<<16, 1<<12, 0)
+		z := d.ZoneByIndex(3)
+		var total int64
+		for _, l := range lens {
+			n := int64(l%64 + 1)
+			if total+n > z.Extent.Count {
+				break
+			}
+			if err := d.Write(geom.Ext(z.WP, n)); err != nil {
+				return false
+			}
+			total += n
+		}
+		return z.WrittenSectors() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

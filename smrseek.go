@@ -1,0 +1,209 @@
+// Package smrseek is a trace-driven simulator for read-seek behaviour of
+// log-structured SMR disk translation layers, reproducing "Minimizing
+// Read Seeks for SMR Disk" (Hajkazemi, Abdi, Desnoyers — IISWC 2018).
+//
+// It models the paper's infinite-disk seek accounting, a log-structured
+// translation layer with a full extent map, and the paper's three seek
+// reduction mechanisms — opportunistic defragmentation, translation-aware
+// look-ahead-behind prefetching and translation-aware selective caching —
+// plus a catalog of 21 synthetic workloads standing in for the MSR
+// Cambridge and CloudPhysics traces the paper evaluates.
+//
+// Quick start:
+//
+//	recs := smrseek.MustWorkload("w91").Generate(0.5)
+//	cmp, err := smrseek.ComparePaper(recs)
+//	// cmp.Variants holds SAF for LS, LS+defrag, LS+prefetch, LS+cache.
+//
+// The cmd/ directory provides executables (smrsim, tracegen, traceinfo,
+// experiments) and examples/ holds runnable walkthroughs.
+package smrseek
+
+import (
+	"fmt"
+	"io"
+
+	"smrseek/internal/analysis"
+	"smrseek/internal/core"
+	"smrseek/internal/disk"
+	"smrseek/internal/experiments"
+	"smrseek/internal/geom"
+	"smrseek/internal/stl"
+	"smrseek/internal/trace"
+	"smrseek/internal/workload"
+)
+
+// SectorSize is the simulator's sector size in bytes.
+const SectorSize = geom.SectorSize
+
+// Core simulation types, re-exported from the internal engine.
+type (
+	// Config selects a translation layer and mechanisms for a run.
+	Config = core.Config
+	// Stats is the outcome of one simulation run.
+	Stats = core.Stats
+	// Comparison holds baseline stats plus per-variant SAF reports.
+	Comparison = core.Comparison
+	// SAFReport is one variant's seek amplification factors.
+	SAFReport = core.SAFReport
+	// Simulator drives records through a configured pipeline.
+	Simulator = core.Simulator
+	// ReadEvent is delivered to read observers during a run.
+	ReadEvent = core.ReadEvent
+
+	// DefragConfig parameterizes opportunistic defragmentation.
+	DefragConfig = core.DefragConfig
+	// PrefetchConfig parameterizes look-ahead-behind prefetching.
+	PrefetchConfig = core.PrefetchConfig
+	// CacheConfig parameterizes translation-aware selective caching.
+	CacheConfig = core.CacheConfig
+
+	// Record is one block I/O operation.
+	Record = trace.Record
+	// Reader yields trace records in temporal order.
+	Reader = trace.Reader
+	// Characteristics is a Table-I style workload summary.
+	Characteristics = trace.Characteristics
+
+	// Profile is a synthetic workload description.
+	Profile = workload.Profile
+
+	// Extent is a half-open range of 512-byte sectors.
+	Extent = geom.Extent
+
+	// Fragment is one physically-contiguous piece of a resolved read.
+	Fragment = stl.Fragment
+)
+
+// OpKind distinguishes reads from writes in Records.
+type OpKind = disk.OpKind
+
+// Operation kinds.
+const (
+	Read  = disk.Read
+	Write = disk.Write
+)
+
+// Default mechanism configurations (the paper's evaluation settings).
+var (
+	// DefaultDefrag defragments any fragmented read on first access.
+	DefaultDefrag = core.DefaultDefragConfig
+	// DefaultPrefetch uses 256 KB look-ahead and look-behind windows.
+	DefaultPrefetch = core.DefaultPrefetchConfig
+	// DefaultCache uses the paper's 64 MB selective cache.
+	DefaultCache = core.DefaultCacheConfig
+)
+
+// NewSimulator builds a simulator for the configuration.
+func NewSimulator(cfg Config) (*Simulator, error) { return core.NewSimulator(cfg) }
+
+// Run simulates the records under the configuration and returns stats.
+// LS configurations with FrontierStart == 0 get the frontier placed just
+// above the highest LBA in the trace, per the paper's model.
+func Run(cfg Config, recs []Record) (Stats, error) {
+	if cfg.LogStructured && cfg.FrontierStart == 0 {
+		cfg.FrontierStart = trace.MaxLBA(recs)
+	}
+	sim, err := core.NewSimulator(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return sim.Run(trace.NewSliceReader(recs))
+}
+
+// Compare runs the records through the NoLS baseline and each variant,
+// reporting per-variant seek amplification factors.
+func Compare(recs []Record, variants ...Config) (Comparison, error) {
+	return core.Compare(recs, variants...)
+}
+
+// ComparePaper runs the Figure 11 variant set: LS, LS+defrag,
+// LS+prefetch and LS+cache(64 MB).
+func ComparePaper(recs []Record) (Comparison, error) { return core.ComparePaper(recs) }
+
+// PaperVariants returns the four Figure 11 configurations.
+func PaperVariants() []Config { return core.PaperVariants() }
+
+// Workloads returns the names of the 21 cataloged synthetic workloads.
+func Workloads() []string { return workload.Names() }
+
+// Workload returns the named synthetic workload profile.
+func Workload(name string) (Profile, error) { return workload.ByName(name) }
+
+// MustWorkload returns the named profile or panics; intended for
+// examples and tests.
+func MustWorkload(name string) Profile {
+	p, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Characterize computes Table-I style statistics for a record slice.
+func Characterize(recs []Record) Characteristics { return trace.Characterize(recs) }
+
+// MisorderedWrites reports the fraction of writes that sequentially
+// follow a later write within a 256 KB horizon (Figure 8's metric).
+func MisorderedWrites(recs []Record) (misordered, writes int64) {
+	res := analysis.MisorderedWrites(recs, 0)
+	return res.Misordered, res.Writes
+}
+
+// TraceFormat names an on-disk trace encoding.
+type TraceFormat string
+
+// Supported trace formats.
+const (
+	// FormatMSR is the MSR Cambridge CSV format
+	// (Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime).
+	FormatMSR TraceFormat = "msr"
+	// FormatCP is the documented CloudPhysics-style CSV
+	// (time_ns,op,lba,sectors).
+	FormatCP TraceFormat = "cp"
+	// FormatBinary is the compact delta-encoded binary format (about 3x
+	// smaller and an order of magnitude faster to parse than CSV).
+	FormatBinary TraceFormat = "bin"
+)
+
+// OpenTrace parses a trace stream in the given format. For FormatMSR,
+// diskFilter selects one disk number (-1 keeps all).
+func OpenTrace(r io.Reader, format TraceFormat, diskFilter int) (Reader, error) {
+	switch format {
+	case FormatMSR:
+		return trace.NewMSRReader(r, diskFilter), nil
+	case FormatCP:
+		return trace.NewCPReader(r), nil
+	case FormatBinary:
+		return trace.NewBinaryReader(r), nil
+	default:
+		return nil, fmt.Errorf("smrseek: unknown trace format %q (want %q, %q or %q)", format, FormatMSR, FormatCP, FormatBinary)
+	}
+}
+
+// WriteTrace writes records in the given format.
+func WriteTrace(w io.Writer, format TraceFormat, recs []Record) error {
+	switch format {
+	case FormatMSR:
+		return trace.WriteMSR(w, "smrseek", 0, recs)
+	case FormatCP:
+		return trace.WriteCP(w, recs)
+	case FormatBinary:
+		return trace.WriteBinary(w, recs)
+	default:
+		return fmt.Errorf("smrseek: unknown trace format %q (want %q, %q or %q)", format, FormatMSR, FormatCP, FormatBinary)
+	}
+}
+
+// ReadAll drains a Reader into memory.
+func ReadAll(r Reader) ([]Record, error) { return trace.ReadAll(r) }
+
+// RunExperiment regenerates a paper table or figure by name ("table1",
+// "fig2" ... "fig11", or "all"), writing its rendering to w. Scale
+// multiplies each workload's base operation count (0 uses the default).
+func RunExperiment(w io.Writer, name string, scale float64) error {
+	if scale <= 0 {
+		scale = experiments.DefaultScale
+	}
+	return experiments.Run(w, name, scale)
+}
