@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"smrseek"
 )
@@ -26,6 +28,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0, "workload scale (0 = default 0.5)")
+	timeout := fs.Duration("timeout", 0, "abort each experiment after this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -34,10 +37,22 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf(`pass experiment names (table1 fig2 fig3 fig4 fig5 fig7 fig8 fig10 fig11 waf timeamp) or "all"`)
 	}
 	for _, name := range names {
-		if err := smrseek.RunExperiment(out, name, *scale); err != nil {
+		if err := runExperiment(name, out, *scale, *timeout); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)
 	}
 	return nil
+}
+
+// runExperiment runs one experiment under its own timeout, so a stuck
+// figure cannot starve the rest of the list.
+func runExperiment(name string, out io.Writer, scale float64, timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return smrseek.RunExperimentContext(ctx, out, name, scale)
 }

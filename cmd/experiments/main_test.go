@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -34,5 +36,13 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"bogus"}, &buf); err == nil {
 		t.Error("unknown experiment must error")
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-scale", "0.5", "-timeout", "1ns", "fig11"}, &buf)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
 	}
 }

@@ -11,14 +11,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"smrseek"
 	"smrseek/internal/core"
 	"smrseek/internal/disk"
+	"smrseek/internal/geom"
 	"smrseek/internal/metrics"
 	"smrseek/internal/report"
 	"smrseek/internal/trace"
@@ -47,8 +52,25 @@ func run(args []string, out io.Writer) error {
 		cache        = fs.Bool("cache", false, "enable 64 MB selective caching (implies -ls)")
 		cacheMB      = fs.Int64("cache-mb", 64, "selective cache size in MiB")
 		withTime     = fs.Bool("time", false, "also report modelled service time (7200 RPM drive)")
+		faultRate    = fs.Float64("fault-rate", 0, "per-access transient fault probability for reads and writes (0 disables injection)")
+		poisonRate   = fs.Float64("poison-rate", 0, "probability a cache/prefetch-buffer serve is corrupt and falls back to the medium")
+		faultSeed    = fs.Uint64("fault-seed", 1, "fault injector seed (same seed => identical fault sequence)")
+		mediaErrors  = fs.String("media-errors", "", `persistent media-error PBA ranges, "start:count,start:count,..."`)
+		timeout      = fs.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	faultCfg, err := buildFaultConfig(*faultRate, *poisonRate, *faultSeed, *mediaErrors)
+	if err != nil {
 		return err
 	}
 
@@ -61,7 +83,10 @@ func run(args []string, out io.Writer) error {
 		name, report.HumanCount(c.ReadCount), report.HumanCount(c.WriteCount), c.ReadGB(), c.WrittenGB())
 
 	if *all {
-		return runAll(out, recs)
+		if faultCfg != nil {
+			return fmt.Errorf("-fault-rate/-poison-rate/-media-errors cannot be combined with -all (SAF comparisons need fault-free runs)")
+		}
+		return runAll(ctx, out, recs)
 	}
 
 	cfg := smrseek.Config{LogStructured: *layerName == "" && (*ls || *defrag || *prefetch || *cache)}
@@ -84,7 +109,55 @@ func run(args []string, out io.Writer) error {
 		cc := smrseek.CacheConfig{CapacityBytes: *cacheMB << 20}
 		cfg.Cache = &cc
 	}
-	return runOne(out, recs, cfg, *withTime)
+	cfg.Fault = faultCfg
+	return runOne(ctx, out, recs, cfg, *withTime)
+}
+
+// buildFaultConfig assembles a fault configuration from the CLI flags,
+// or nil when injection is disabled.
+func buildFaultConfig(rate, poison float64, seed uint64, mediaSpec string) (*smrseek.FaultConfig, error) {
+	ranges, err := parseMediaRanges(mediaSpec)
+	if err != nil {
+		return nil, err
+	}
+	if rate == 0 && poison == 0 && len(ranges) == 0 {
+		return nil, nil
+	}
+	cfg := smrseek.FaultConfig{
+		Seed:        seed,
+		ReadRate:    rate,
+		WriteRate:   rate,
+		PoisonRate:  poison,
+		MediaRanges: ranges,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// parseMediaRanges parses "start:count,start:count,..." into PBA extents.
+func parseMediaRanges(spec string) ([]geom.Extent, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []geom.Extent
+	for _, part := range strings.Split(spec, ",") {
+		start, count, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("media range %q: want start:count", part)
+		}
+		s, err := strconv.ParseInt(start, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("media range %q: bad start: %v", part, err)
+		}
+		n, err := strconv.ParseInt(count, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("media range %q: bad count: %v", part, err)
+		}
+		out = append(out, geom.Ext(geom.Sector(s), n))
+	}
+	return out, nil
 }
 
 // buildLayer constructs an alternative translation layer sized to the
@@ -144,8 +217,8 @@ func loadRecords(workloadName string, scale float64, tracePath, format string, d
 	}
 }
 
-func runAll(out io.Writer, recs []smrseek.Record) error {
-	cmp, err := smrseek.ComparePaper(recs)
+func runAll(ctx context.Context, out io.Writer, recs []smrseek.Record) error {
+	cmp, err := smrseek.ComparePaperContext(ctx, recs)
 	if err != nil {
 		return err
 	}
@@ -160,9 +233,9 @@ func runAll(out io.Writer, recs []smrseek.Record) error {
 	return tb.Render(out)
 }
 
-func runOne(out io.Writer, recs []smrseek.Record, cfg smrseek.Config, withTime bool) error {
-	// Baseline for SAF.
-	base, err := smrseek.Run(smrseek.Config{}, recs)
+func runOne(ctx context.Context, out io.Writer, recs []smrseek.Record, cfg smrseek.Config, withTime bool) error {
+	// Baseline for SAF, always fault-free so SAF compares like with like.
+	base, err := smrseek.RunContext(ctx, smrseek.Config{}, recs)
 	if err != nil {
 		return err
 	}
@@ -179,7 +252,7 @@ func runOne(out io.Writer, recs []smrseek.Record, cfg smrseek.Config, withTime b
 		acc = disk.NewTimeAccumulator(disk.DefaultTimeModel())
 		sim.Disk().AddObserver(acc)
 	}
-	st, err := sim.Run(trace.NewSliceReader(recs))
+	st, err := sim.RunContext(ctx, trace.NewSliceReader(recs))
 	if err != nil {
 		return err
 	}
@@ -208,9 +281,16 @@ func runOne(out io.Writer, recs []smrseek.Record, cfg smrseek.Config, withTime b
 		tb.AddRow("write amplification", st.WAF)
 	}
 	if acc != nil {
-		tb.AddRow("modelled read time", acc.ReadTime.Round(1000000).String())
-		tb.AddRow("modelled write time", acc.WriteTime.Round(1000000).String())
-		tb.AddRow("modelled seek time", acc.SeekTime.Round(1000000).String())
+		tb.AddRow("modelled read time", acc.ReadTime.Round(time.Millisecond).String())
+		tb.AddRow("modelled write time", acc.WriteTime.Round(time.Millisecond).String())
+		tb.AddRow("modelled seek time", acc.SeekTime.Round(time.Millisecond).String())
 	}
-	return tb.Render(out)
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	if cfg.Fault != nil {
+		fmt.Fprintln(out)
+		return report.ResilienceTable(st.Resilience).Render(out)
+	}
+	return nil
 }

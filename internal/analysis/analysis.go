@@ -7,6 +7,7 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 
 	"smrseek/internal/core"
@@ -306,6 +307,12 @@ type Artifacts struct {
 // Instrumented runs recs through the configuration with all figure
 // instrumentation attached. windowOps sets the Figure 3 window width.
 func Instrumented(recs []trace.Record, cfg core.Config, windowOps int64) (*Artifacts, error) {
+	return InstrumentedContext(context.Background(), recs, cfg, windowOps)
+}
+
+// InstrumentedContext is Instrumented with cancellation: a cancelled or
+// expired context abandons the run and returns ctx.Err().
+func InstrumentedContext(ctx context.Context, recs []trace.Record, cfg core.Config, windowOps int64) (*Artifacts, error) {
 	if cfg.LogStructured && cfg.FrontierStart == 0 {
 		cfg.FrontierStart = trace.MaxLBA(recs)
 	}
@@ -331,7 +338,15 @@ func Instrumented(recs []trace.Record, cfg core.Config, windowOps int64) (*Artif
 		a.FragCounts = append(a.FragCounts, len(ev.Fragments))
 		a.Popularity.ObserveRead(ev)
 	})
+	const cancelCheckInterval = 64
 	for _, rec := range recs {
+		if op%cancelCheckInterval == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		sim.Step(rec)
 		op++
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"smrseek/internal/geom"
 	"smrseek/internal/metrics"
 	"smrseek/internal/trace"
@@ -39,8 +41,14 @@ func (c Comparison) VariantByName(name string) (SAFReport, bool) {
 // above the highest LBA in the trace, per the paper; variants carrying a
 // CustomLayer are compared as-is.
 func Compare(recs []trace.Record, variants ...Config) (Comparison, error) {
+	return CompareContext(context.Background(), recs, variants...)
+}
+
+// CompareContext is Compare with cancellation: a cancelled or expired
+// context stops the current run and returns ctx.Err().
+func CompareContext(ctx context.Context, recs []trace.Record, variants ...Config) (Comparison, error) {
 	frontier := trace.MaxLBA(recs)
-	base, err := runOnce(recs, Config{LogStructured: false})
+	base, err := runOnce(ctx, recs, Config{LogStructured: false})
 	if err != nil {
 		return Comparison{}, err
 	}
@@ -50,7 +58,7 @@ func Compare(recs []trace.Record, variants ...Config) (Comparison, error) {
 			cfg.LogStructured = true
 			cfg.FrontierStart = frontier
 		}
-		st, err := runOnce(recs, cfg)
+		st, err := runOnce(ctx, recs, cfg)
 		if err != nil {
 			return Comparison{}, err
 		}
@@ -65,12 +73,12 @@ func Compare(recs []trace.Record, variants ...Config) (Comparison, error) {
 	return out, nil
 }
 
-func runOnce(recs []trace.Record, cfg Config) (Stats, error) {
+func runOnce(ctx context.Context, recs []trace.Record, cfg Config) (Stats, error) {
 	sim, err := NewSimulator(cfg)
 	if err != nil {
 		return Stats{}, err
 	}
-	return sim.Run(trace.NewSliceReader(recs))
+	return sim.RunContext(ctx, trace.NewSliceReader(recs))
 }
 
 // PaperVariants returns the four configurations of Figure 11: plain LS,
@@ -91,6 +99,11 @@ func PaperVariants() []Config {
 // ComparePaper runs the records through exactly the Figure 11 variant set.
 func ComparePaper(recs []trace.Record) (Comparison, error) {
 	return Compare(recs, PaperVariants()...)
+}
+
+// ComparePaperContext is ComparePaper with cancellation.
+func ComparePaperContext(ctx context.Context, recs []trace.Record) (Comparison, error) {
+	return CompareContext(ctx, recs, PaperVariants()...)
 }
 
 // FrontierFor returns the write frontier the paper's model would use for

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"smrseek/internal/geom"
 )
 
@@ -22,6 +24,20 @@ type DefragConfig struct {
 // the paper's base policy (Algorithm 1 has no gates).
 func DefaultDefragConfig() DefragConfig {
 	return DefragConfig{MinFragments: 2, MinAccesses: 1}
+}
+
+// Validate reports configuration errors. NewDefragmenter clamps
+// out-of-range gates for direct construction, but a simulation Config
+// carrying nonsense gates almost certainly meant something else, so the
+// pipeline fails fast instead.
+func (c DefragConfig) Validate() error {
+	if c.MinFragments < 2 {
+		return fmt.Errorf("core: defrag MinFragments %d, want >= 2 (an unfragmented read has nothing to defragment)", c.MinFragments)
+	}
+	if c.MinAccesses < 1 {
+		return fmt.Errorf("core: defrag MinAccesses %d, want >= 1", c.MinAccesses)
+	}
+	return nil
 }
 
 // Defragmenter decides, per fragmented read, whether to rewrite the read

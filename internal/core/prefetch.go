@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"smrseek/internal/geom"
 )
 
@@ -29,6 +31,23 @@ func DefaultPrefetchConfig() PrefetchConfig {
 		LookAheadSectors:  256 * 1024 / geom.SectorSize,
 		BufferBytes:       32 << 20,
 	}
+}
+
+// Validate reports configuration errors: negative windows, a buffer
+// that cannot hold anything, or a zero-width window pair (which buffers
+// only the fragment itself — not prefetching, and almost certainly a
+// unit mistake in the sector counts).
+func (c PrefetchConfig) Validate() error {
+	if c.LookBehindSectors < 0 || c.LookAheadSectors < 0 {
+		return fmt.Errorf("core: negative prefetch window (behind %d, ahead %d)", c.LookBehindSectors, c.LookAheadSectors)
+	}
+	if c.LookBehindSectors == 0 && c.LookAheadSectors == 0 {
+		return fmt.Errorf("core: prefetch windows are both zero; nothing beyond the fragment itself would ever be buffered")
+	}
+	if c.BufferBytes <= 0 {
+		return fmt.Errorf("core: prefetch buffer %d bytes, want > 0", c.BufferBytes)
+	}
+	return nil
 }
 
 // Prefetcher models the drive's look-ahead-behind buffer over *physical*

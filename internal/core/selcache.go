@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"smrseek/internal/geom"
 	"smrseek/internal/lru"
 )
@@ -15,6 +17,16 @@ type CacheConfig struct {
 
 // DefaultCacheConfig returns the paper's 64 MB evaluation setting.
 func DefaultCacheConfig() CacheConfig { return CacheConfig{CapacityBytes: 64 << 20} }
+
+// Validate reports configuration errors: a cache with no capacity can
+// never hold a fragment, so the run would silently degenerate to plain
+// LS while reporting an "LS+cache" SAF.
+func (c CacheConfig) Validate() error {
+	if c.CapacityBytes <= 0 {
+		return fmt.Errorf("core: cache capacity %d bytes, want > 0", c.CapacityBytes)
+	}
+	return nil
+}
 
 // extKey identifies a cached fragment by its exact LBA extent. Fragment
 // boundaries are determined by the extent map, so repeated reads of the
@@ -71,6 +83,13 @@ func (s *SelectiveCache) Insert(lba geom.Extent) {
 	}
 	s.c.Add(keyOf(lba), struct{}{}, lba.Bytes())
 	s.coverage.Add(lba)
+}
+
+// Evict drops the exact-extent entry if present, without touching the
+// coverage set (over-approximation is allowed). Used when an entry's
+// data turns out to be corrupt and must never be served.
+func (s *SelectiveCache) Evict(lba geom.Extent) {
+	s.c.Remove(keyOf(lba))
 }
 
 // Invalidate drops every cached entry overlapping the written extent, so

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"smrseek/internal/disk"
+	"smrseek/internal/fault"
 	"smrseek/internal/geom"
+	"smrseek/internal/metrics"
 	"smrseek/internal/stl"
 	"smrseek/internal/trace"
 )
@@ -29,6 +32,10 @@ type Config struct {
 	Prefetch *PrefetchConfig
 	// Cache enables translation-aware selective caching when non-nil.
 	Cache *CacheConfig
+	// Fault enables deterministic fault injection when non-nil: the disk
+	// model rejects accesses per the configuration and the simulator
+	// retries, degrades and records the outcome (see Stats.Resilience).
+	Fault *fault.Config
 }
 
 // translated reports whether the configured layer relocates data (i.e.
@@ -54,11 +61,21 @@ func (c Config) Name() string {
 	if c.Cache != nil {
 		n += "+cache"
 	}
+	if c.Fault != nil && c.Fault.Enabled() {
+		n += "+faults"
+	}
 	return n
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Mechanism configurations are
+// checked too, so misconfigured runs (zero-sized caches, negative
+// windows) fail fast instead of producing nonsense SAF numbers.
 func (c Config) Validate() error {
+	if c.Fault != nil {
+		if err := c.Fault.Validate(); err != nil {
+			return err
+		}
+	}
 	if !c.translated() {
 		if c.Defrag != nil || c.Prefetch != nil || c.Cache != nil {
 			return fmt.Errorf("core: mechanisms require a translating layer")
@@ -70,6 +87,21 @@ func (c Config) Validate() error {
 	}
 	if c.FrontierStart < 0 {
 		return fmt.Errorf("core: negative frontier start %d", c.FrontierStart)
+	}
+	if c.Defrag != nil {
+		if err := c.Defrag.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Prefetch != nil {
+		if err := c.Prefetch.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Cache != nil {
+		if err := c.Cache.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -107,6 +139,10 @@ type Stats struct {
 	// WAF is the layer's write amplification factor (1 when the layer
 	// does not relocate data on its own).
 	WAF float64
+
+	// Resilience tallies fault injection and recovery (all zero when
+	// fault injection is disabled).
+	Resilience metrics.Resilience
 }
 
 // ReadSAF, WriteSAF and TotalSAF are computed against a baseline by the
@@ -139,6 +175,7 @@ type Simulator struct {
 	defrag     *Defragmenter
 	prefetch   *Prefetcher
 	cache      *SelectiveCache
+	injector   *fault.Injector // nil unless fault injection is enabled
 
 	opIndex   int64
 	stats     Stats
@@ -177,6 +214,14 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 			s.cache = NewSelectiveCache(*cfg.Cache)
 		}
 	}
+	if cfg.Fault != nil && cfg.Fault.Enabled() {
+		inj, err := fault.New(*cfg.Fault)
+		if err != nil {
+			return nil, err
+		}
+		s.injector = inj
+		s.dev.SetFaultChecker(inj)
+	}
 	s.stats.Config = cfg
 	return s, nil
 }
@@ -199,7 +244,27 @@ func (s *Simulator) AddReadObserver(o ReadObserver) {
 
 // Run consumes the whole trace and returns the accumulated statistics.
 func (s *Simulator) Run(r trace.Reader) (Stats, error) {
-	for {
+	return s.RunContext(context.Background(), r)
+}
+
+// cancelCheckInterval is how many records RunContext processes between
+// context polls; small enough that cancellation lands promptly, large
+// enough that the poll is invisible in the per-op cost.
+const cancelCheckInterval = 64
+
+// RunContext consumes the trace like Run but honours cancellation and
+// deadlines: when ctx ends the run stops promptly and ctx.Err() —
+// context.Canceled or context.DeadlineExceeded — is returned.
+func (s *Simulator) RunContext(ctx context.Context, r trace.Reader) (Stats, error) {
+	done := ctx.Done()
+	for n := 0; ; n++ {
+		if done != nil && n%cancelCheckInterval == 0 {
+			select {
+			case <-done:
+				return Stats{}, ctx.Err()
+			default:
+			}
+		}
 		rec, ok := r.Next()
 		if !ok {
 			break
@@ -232,6 +297,13 @@ func (s *Simulator) Stats() Stats {
 	if s.amplifier != nil {
 		st.WAF = stl.WAF(s.amplifier)
 	}
+	if s.injector != nil {
+		c := s.injector.Counters()
+		st.Resilience.FaultsInjected = c.Total()
+		st.Resilience.TransientFaults = c.TransientReads + c.TransientWrites
+		st.Resilience.WriteFaults = c.TransientWrites
+		st.Resilience.MediaFaults = c.MediaErrors
+	}
 	return st
 }
 
@@ -258,7 +330,10 @@ func (s *Simulator) drainMaintenance() {
 		return
 	}
 	for _, op := range s.maintainer.PendingMaintenance() {
-		s.dev.Do(op.Kind, op.Extent)
+		// Maintenance faults are retried like host I/O; an unrecovered
+		// one is recorded by access. The layer's own bookkeeping already
+		// moved on, mirroring firmware that logs and continues.
+		s.access(op.Kind, op.Extent)
 		if op.Kind == disk.Read {
 			s.stats.MaintReads++
 		} else {
@@ -268,10 +343,41 @@ func (s *Simulator) drainMaintenance() {
 	}
 }
 
+// access performs one physical I/O with bounded retries for transient
+// faults. Every attempt goes through the disk model, so retries pay
+// their mechanical cost in the seek accounting and — via the Faulted
+// flag observers see — the §II time model. The returned error is nil
+// once an attempt succeeds; a media error or an exhausted retry budget
+// is recorded as unrecovered and returned.
+func (s *Simulator) access(kind disk.OpKind, phys geom.Extent) error {
+	_, err := s.dev.TryDo(kind, phys)
+	if err == nil {
+		return nil
+	}
+	// A checker may be installed directly on the disk (sim.Disk()), so
+	// don't assume the injector exists just because an attempt failed.
+	maxRetries := fault.DefaultMaxRetries
+	if s.injector != nil {
+		maxRetries = s.injector.MaxRetries()
+	}
+	for attempt := 0; attempt < maxRetries && fault.IsTransient(err); attempt++ {
+		s.stats.Resilience.Retries++
+		if _, err = s.dev.TryDo(kind, phys); err == nil {
+			s.stats.Resilience.Recoveries++
+			return nil
+		}
+	}
+	s.stats.Resilience.Unrecovered++
+	return err
+}
+
 func (s *Simulator) stepWrite(rec trace.Record) {
 	s.stats.Writes++
 	for _, f := range s.layer.Write(rec.Extent) {
-		s.dev.Write(f.PhysExtent())
+		// Host writes are not rolled back on an unrecovered fault: the
+		// translation already remapped the LBA, mirroring a drive that
+		// remaps and reports the failure upward. access records it.
+		s.access(disk.Write, f.PhysExtent())
 	}
 	if s.cache != nil {
 		s.cache.Invalidate(rec.Extent)
@@ -298,19 +404,36 @@ func (s *Simulator) stepRead(rec trace.Record) {
 	}
 
 	for _, f := range frags {
-		// Algorithm 3: on fragmented reads, try RAM first.
+		// Algorithm 3: on fragmented reads, try RAM first. A poisoned
+		// entry is evicted — it can never be served — and the read falls
+		// through to the medium.
 		if fragmented && s.cache != nil {
 			if s.cache.Has(f.Lba) {
-				continue // served from cache: no disk access, no seek
+				if s.injector != nil && s.injector.Poisoned() {
+					s.cache.Evict(f.Lba)
+					s.stats.Resilience.PoisonedEvictions++
+				} else {
+					continue // served from cache: no disk access, no seek
+				}
 			}
 		}
-		// Algorithm 2: on fragmented reads, try the drive buffer.
+		// Algorithm 2: on fragmented reads, try the drive buffer. A
+		// poisoned buffer serve falls back to the direct read.
 		if fragmented && s.prefetch != nil {
 			if s.prefetch.Covers(f.PhysExtent()) {
-				continue // served from the drive buffer: no seek
+				if s.injector != nil && s.injector.Poisoned() {
+					s.stats.Resilience.PrefetchFallbacks++
+				} else {
+					continue // served from the drive buffer: no seek
+				}
 			}
 		}
-		s.dev.Read(f.PhysExtent())
+		err := s.access(disk.Read, f.PhysExtent())
+		if err != nil {
+			// Unrecovered read: nothing valid arrived, so neither the
+			// drive buffer nor the cache may keep a copy.
+			continue
+		}
 		if fragmented && s.prefetch != nil {
 			s.prefetch.Fill(f.PhysExtent())
 		}
@@ -326,10 +449,31 @@ func (s *Simulator) stepRead(rec trace.Record) {
 	// physical placement moved.
 	if fragmented && s.defrag != nil {
 		if s.defrag.ShouldDefrag(rec.Extent, len(frags)) {
-			for _, f := range s.layer.Write(rec.Extent) {
-				s.dev.Write(f.PhysExtent())
-			}
-			s.defrag.NoteWriteback(rec.Extent.Count)
+			s.relocate(rec.Extent)
 		}
 	}
+}
+
+// relocate rewrites lba contiguously at the log head (a defrag
+// write-back). With a layer that can preview placement the relocation is
+// atomic under faults: the disk I/O is attempted first and the mapping
+// committed only if every attempt succeeds, so an aborted rewrite leaves
+// the extent map resolving every LBA to its pre-defrag location. Layers
+// without preview fall back to write-then-play; their unrecovered faults
+// are recorded but the remap stands.
+func (s *Simulator) relocate(lba geom.Extent) {
+	if pv, ok := s.layer.(stl.Previewer); ok {
+		for _, f := range pv.PreviewWrite(lba) {
+			if err := s.access(disk.Write, f.PhysExtent()); err != nil {
+				s.stats.Resilience.AbortedRelocations++
+				return // extent map untouched
+			}
+		}
+		s.layer.Write(lba) // commit; the disk I/O was already played
+	} else {
+		for _, f := range s.layer.Write(lba) {
+			s.access(disk.Write, f.PhysExtent())
+		}
+	}
+	s.defrag.NoteWriteback(lba.Count)
 }

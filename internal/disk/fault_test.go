@@ -1,0 +1,97 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+
+	"smrseek/internal/geom"
+)
+
+// scriptedChecker fails each attempt whose index appears in fail.
+type scriptedChecker struct {
+	n    int
+	fail map[int]bool
+}
+
+var errInjected = errors.New("injected")
+
+func (c *scriptedChecker) CheckAccess(OpKind, geom.Extent) error {
+	defer func() { c.n++ }()
+	if c.fail[c.n] {
+		return errInjected
+	}
+	return nil
+}
+
+func TestTryDoFaultAccounting(t *testing.T) {
+	d := New()
+	d.Do(Read, geom.Ext(0, 8)) // establish head position, no seek
+	d.SetFaultChecker(&scriptedChecker{fail: map[int]bool{0: true}})
+
+	// Faulted attempt at a distant extent: the head moved (seek charged)
+	// but nothing transferred.
+	a, err := d.TryDo(Read, geom.Ext(10000, 8))
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("TryDo error = %v, want injected", err)
+	}
+	if !a.Faulted || !a.Seeked {
+		t.Errorf("access = %+v, want Faulted and Seeked", a)
+	}
+	c := d.Counters()
+	if c.ReadOps != 2 || c.ReadSeeks != 1 || c.FaultedReads != 1 {
+		t.Errorf("after fault: %+v, want 2 read ops, 1 seek, 1 faulted", c)
+	}
+	if c.ReadSectors != 8 {
+		t.Errorf("ReadSectors = %d, want 8 (faulted attempt must not count transfer)", c.ReadSectors)
+	}
+
+	// The retry succeeds. The faulted attempt left the head past the
+	// extent, so the retry seeks back — retries pay mechanical cost —
+	// and the sectors are counted exactly once.
+	a, err = d.TryDo(Read, geom.Ext(10000, 8))
+	if err != nil || a.Faulted {
+		t.Fatalf("retry = %+v, %v; want clean success", a, err)
+	}
+	c = d.Counters()
+	if c.ReadSectors != 16 || c.ReadSeeks != 2 {
+		t.Errorf("after retry: %+v, want 16 sectors and 2 seeks (head re-seeks back over the extent)", c)
+	}
+
+	// A nil checker restores fault-free behaviour, and Do folds faults
+	// away without error.
+	d.SetFaultChecker(nil)
+	if a := d.Do(Write, geom.Ext(0, 4)); a.Faulted {
+		t.Errorf("nil checker produced a faulted access: %+v", a)
+	}
+	if c := d.Counters(); c.FaultedWrites != 0 {
+		t.Errorf("FaultedWrites = %d, want 0", c.FaultedWrites)
+	}
+}
+
+func TestObserverSeesFaultedAccess(t *testing.T) {
+	d := New()
+	d.SetFaultChecker(&scriptedChecker{fail: map[int]bool{0: true}})
+	var got []Access
+	d.AddObserver(ObserverFunc(func(a Access) { got = append(got, a) }))
+	d.TryDo(Write, geom.Ext(0, 8))
+	if len(got) != 1 || !got[0].Faulted {
+		t.Fatalf("observer saw %+v, want one faulted access", got)
+	}
+}
+
+func TestRetryPenaltyInTimeModel(t *testing.T) {
+	m := DefaultTimeModel()
+	clean := Access{Kind: Read, Extent: geom.Ext(0, 8), Seeked: true, Distance: 1000}
+	faulted := clean
+	faulted.Faulted = true
+	if m.RetryPenalty <= 0 {
+		t.Fatal("default model has no retry penalty")
+	}
+	if got, want := m.AccessTime(faulted)-m.AccessTime(clean), m.RetryPenalty; got != want {
+		t.Errorf("faulted access costs %v more than clean, want %v", got, want)
+	}
+	var zero TimeModel
+	if zero.AccessTime(faulted) != zero.AccessTime(clean) {
+		t.Error("zero model must not charge a retry penalty")
+	}
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -27,7 +28,7 @@ const DefaultScale = 0.5
 
 // Table1 prints workload characteristics for every catalog workload —
 // the paper's Table I, computed over the synthetic stand-ins.
-func Table1(w io.Writer, scale float64) error {
+func Table1(ctx context.Context, w io.Writer, scale float64) error {
 	tb := report.NewTable("Table I: workload characteristics (synthetic stand-ins)",
 		"workload", "source", "reads", "writes", "read GB", "written GB", "mean write KB", "OS (guest)")
 	for _, p := range catalogOrdered() {
@@ -50,13 +51,13 @@ type Fig2Row struct {
 
 // Fig2Data computes read/write seek counts under NoLS and LS for every
 // catalog workload.
-func Fig2Data(scale float64) ([]Fig2Row, error) {
+func Fig2Data(ctx context.Context, scale float64) ([]Fig2Row, error) {
 	cat := catalogOrdered()
 	rows := make([]Fig2Row, len(cat))
-	err := forEachIndexed(len(cat), func(i int) error {
+	err := forEachIndexedCtx(ctx, len(cat), func(ctx context.Context, i int) error {
 		p := cat[i]
 		recs := p.Generate(scale)
-		cmp, err := core.Compare(recs, core.Config{LogStructured: true})
+		cmp, err := core.CompareContext(ctx, recs, core.Config{LogStructured: true})
 		if err != nil {
 			return err
 		}
@@ -79,8 +80,8 @@ func Fig2Data(scale float64) ([]Fig2Row, error) {
 
 // Fig2 prints read and write seek counts, NoLS vs LS (the paper's
 // Figure 2 bar chart, one row per bar pair).
-func Fig2(w io.Writer, scale float64) error {
-	rows, err := Fig2Data(scale)
+func Fig2(ctx context.Context, w io.Writer, scale float64) error {
+	rows, err := Fig2Data(ctx, scale)
 	if err != nil {
 		return err
 	}
@@ -100,7 +101,7 @@ var Fig3Workloads = []string{"usr_1", "web_0", "w91", "w55"}
 
 // Fig3 prints the long-seek (>500 KB) differential series, LS minus
 // NoLS, per window of operations (the paper's Figure 3).
-func Fig3(w io.Writer, scale float64) error {
+func Fig3(ctx context.Context, w io.Writer, scale float64) error {
 	for _, name := range Fig3Workloads {
 		p, err := workload.ByName(name)
 		if err != nil {
@@ -108,11 +109,11 @@ func Fig3(w io.Writer, scale float64) error {
 		}
 		recs := p.Generate(scale)
 		window := int64(len(recs)/48) + 1
-		ls, err := analysis.Instrumented(recs, core.Config{LogStructured: true}, window)
+		ls, err := analysis.InstrumentedContext(ctx, recs, core.Config{LogStructured: true}, window)
 		if err != nil {
 			return err
 		}
-		nols, err := analysis.Instrumented(recs, core.Config{}, window)
+		nols, err := analysis.InstrumentedContext(ctx, recs, core.Config{}, window)
 		if err != nil {
 			return err
 		}
@@ -137,7 +138,7 @@ func Fig3(w io.Writer, scale float64) error {
 var Fig4Workloads = []string{"src2_2", "usr_0", "w84", "w64"}
 
 // Fig4 prints access-distance CDFs for NoLS and LS over a ±2 GB window.
-func Fig4(w io.Writer, scale float64) error {
+func Fig4(ctx context.Context, w io.Writer, scale float64) error {
 	const gb = int64(1) << 21 // sectors per GB
 	for _, name := range Fig4Workloads {
 		p, err := workload.ByName(name)
@@ -145,11 +146,11 @@ func Fig4(w io.Writer, scale float64) error {
 			return err
 		}
 		recs := p.Generate(scale)
-		nols, err := analysis.Instrumented(recs, core.Config{}, 1000)
+		nols, err := analysis.InstrumentedContext(ctx, recs, core.Config{}, 1000)
 		if err != nil {
 			return err
 		}
-		ls, err := analysis.Instrumented(recs, core.Config{LogStructured: true}, 1000)
+		ls, err := analysis.InstrumentedContext(ctx, recs, core.Config{LogStructured: true}, 1000)
 		if err != nil {
 			return err
 		}
@@ -173,7 +174,7 @@ var Fig5Workloads = []string{"usr_0", "hm_1", "w20", "w36"}
 
 // Fig5 prints the dynamic-fragmentation skew: the share of all fragments
 // held by the most-fragmented X% of fragmented reads.
-func Fig5(w io.Writer, scale float64) error {
+func Fig5(ctx context.Context, w io.Writer, scale float64) error {
 	tb := report.NewTable("Figure 5: fragment share held by top X% of fragmented reads",
 		"workload", "frag reads", "fragments", "top 10%", "top 20%", "top 50%")
 	for _, name := range Fig5Workloads {
@@ -182,7 +183,7 @@ func Fig5(w io.Writer, scale float64) error {
 			return err
 		}
 		recs := p.Generate(scale)
-		art, err := analysis.Instrumented(recs, core.Config{LogStructured: true}, 1000)
+		art, err := analysis.InstrumentedContext(ctx, recs, core.Config{LogStructured: true}, 1000)
 		if err != nil {
 			return err
 		}
@@ -199,7 +200,7 @@ var Fig7Workloads = []string{"hm_1", "w106"}
 
 // Fig7 prints write-ordering profiles: adjacency statistics and a sample
 // of the write-LBA sequence around the first descending run.
-func Fig7(w io.Writer, scale float64) error {
+func Fig7(ctx context.Context, w io.Writer, scale float64) error {
 	for _, name := range Fig7Workloads {
 		p, err := workload.ByName(name)
 		if err != nil {
@@ -244,7 +245,7 @@ func Fig7(w io.Writer, scale float64) error {
 var Fig8Workloads = []string{"usr_0", "src2_2", "hm_1", "w84", "w91", "w95", "w106", "w33"}
 
 // Fig8 prints the fraction of mis-ordered writes within 256 KB.
-func Fig8(w io.Writer, scale float64) error {
+func Fig8(ctx context.Context, w io.Writer, scale float64) error {
 	tb := report.NewTable("Figure 8: mis-ordered writes within 256 KB",
 		"workload", "writes", "mis-ordered", "fraction")
 	for _, name := range Fig8Workloads {
@@ -267,7 +268,7 @@ var Fig10Workloads = []string{"usr_1", "hm_1", "web_0", "src2_2", "w20", "w33", 
 // Fig10 prints fragment popularity: the access count of the top-ranked
 // fragments and the cumulative cache size needed for 50/80/90% of all
 // fragment accesses.
-func Fig10(w io.Writer, scale float64) error {
+func Fig10(ctx context.Context, w io.Writer, scale float64) error {
 	tb := report.NewTable("Figure 10: fragment popularity and cumulative cache footprint",
 		"workload", "fragments", "top access", "bytes@50%", "bytes@80%", "bytes@90%")
 	for _, name := range Fig10Workloads {
@@ -276,7 +277,7 @@ func Fig10(w io.Writer, scale float64) error {
 			return err
 		}
 		recs := p.Generate(scale)
-		art, err := analysis.Instrumented(recs, core.Config{LogStructured: true}, 1000)
+		art, err := analysis.InstrumentedContext(ctx, recs, core.Config{LogStructured: true}, 1000)
 		if err != nil {
 			return err
 		}
@@ -305,13 +306,13 @@ type Fig11Row struct {
 
 // Fig11Data computes the Figure 11 seek amplification factors for every
 // catalog workload.
-func Fig11Data(scale float64) ([]Fig11Row, error) {
+func Fig11Data(ctx context.Context, scale float64) ([]Fig11Row, error) {
 	cat := catalogOrdered()
 	rows := make([]Fig11Row, len(cat))
-	err := forEachIndexed(len(cat), func(i int) error {
+	err := forEachIndexedCtx(ctx, len(cat), func(ctx context.Context, i int) error {
 		p := cat[i]
 		recs := p.Generate(scale)
-		cmp, err := core.ComparePaper(recs)
+		cmp, err := core.ComparePaperContext(ctx, recs)
 		if err != nil {
 			return err
 		}
@@ -338,8 +339,8 @@ func Fig11Data(scale float64) ([]Fig11Row, error) {
 // Fig11 prints the headline result: SAF under LS and LS plus each
 // mechanism, for every workload — as a table and as per-workload bars
 // (mirroring the paper's grouped bar chart).
-func Fig11(w io.Writer, scale float64) error {
-	rows, err := Fig11Data(scale)
+func Fig11(ctx context.Context, w io.Writer, scale float64) error {
+	rows, err := Fig11Data(ctx, scale)
 	if err != nil {
 		return err
 	}
@@ -369,10 +370,10 @@ func Fig11(w io.Writer, scale float64) error {
 }
 
 // All runs every experiment in paper order.
-func All(w io.Writer, scale float64) error {
+func All(ctx context.Context, w io.Writer, scale float64) error {
 	steps := []struct {
 		name string
-		fn   func(io.Writer, float64) error
+		fn   func(context.Context, io.Writer, float64) error
 	}{
 		{"table1", Table1},
 		{"fig2", Fig2},
@@ -387,7 +388,7 @@ func All(w io.Writer, scale float64) error {
 		{"timeamp", TimeAmp},
 	}
 	for _, s := range steps {
-		if err := s.fn(w, scale); err != nil {
+		if err := s.fn(ctx, w, scale); err != nil {
 			return fmt.Errorf("%s: %w", s.name, err)
 		}
 		fmt.Fprintln(w)
@@ -397,7 +398,13 @@ func All(w io.Writer, scale float64) error {
 
 // Run dispatches an experiment by name ("table1", "fig2", ..., "all").
 func Run(w io.Writer, name string, scale float64) error {
-	fns := map[string]func(io.Writer, float64) error{
+	return RunContext(context.Background(), w, name, scale)
+}
+
+// RunContext is Run with cancellation: a cancelled or expired context
+// stops the running experiment and returns ctx.Err().
+func RunContext(ctx context.Context, w io.Writer, name string, scale float64) error {
+	fns := map[string]func(context.Context, io.Writer, float64) error{
 		"table1":  Table1,
 		"fig2":    Fig2,
 		"fig3":    Fig3,
@@ -415,7 +422,7 @@ func Run(w io.Writer, name string, scale float64) error {
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (want table1, fig2, fig3, fig4, fig5, fig7, fig8, fig10, fig11, waf, timeamp or all)", name)
 	}
-	return fn(w, scale)
+	return fn(ctx, w, scale)
 }
 
 // catalogOrdered returns the catalog sorted MSR-first, then by name —

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ const smallScale = 0.05
 
 func TestTable1(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table1(&buf, smallScale); err != nil {
+	if err := Table1(context.Background(), &buf, smallScale); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -32,7 +33,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFig2(t *testing.T) {
-	rows, err := Fig2Data(smallScale)
+	rows, err := Fig2Data(context.Background(), smallScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestFig2(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := Fig2(&buf, smallScale); err != nil {
+	if err := Fig2(context.Background(), &buf, smallScale); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "total SAF") {
@@ -55,7 +56,7 @@ func TestFig2(t *testing.T) {
 
 func TestFig3(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig3(&buf, smallScale); err != nil {
+	if err := Fig3(context.Background(), &buf, smallScale); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -71,7 +72,7 @@ func TestFig3(t *testing.T) {
 
 func TestFig4(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig4(&buf, smallScale); err != nil {
+	if err := Fig4(context.Background(), &buf, smallScale); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -87,7 +88,7 @@ func TestFig4(t *testing.T) {
 
 func TestFig5(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig5(&buf, 0.3); err != nil { // needs enough ops to fragment
+	if err := Fig5(context.Background(), &buf, 0.3); err != nil { // needs enough ops to fragment
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -100,7 +101,7 @@ func TestFig5(t *testing.T) {
 
 func TestFig7(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig7(&buf, 0.5); err != nil {
+	if err := Fig7(context.Background(), &buf, 0.5); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -118,7 +119,7 @@ func TestFig7(t *testing.T) {
 
 func TestFig8(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig8(&buf, 0.5); err != nil {
+	if err := Fig8(context.Background(), &buf, 0.5); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -134,7 +135,7 @@ func TestFig8(t *testing.T) {
 
 func TestFig10(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig10(&buf, 0.3); err != nil {
+	if err := Fig10(context.Background(), &buf, 0.3); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -149,7 +150,7 @@ func TestFig10(t *testing.T) {
 }
 
 func TestFig11(t *testing.T) {
-	rows, err := Fig11Data(smallScale)
+	rows, err := Fig11Data(context.Background(), smallScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestFig11(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := Fig11(&buf, smallScale); err != nil {
+	if err := Fig11(context.Background(), &buf, smallScale); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "LS+cache") {
@@ -187,7 +188,7 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("All regenerates every figure")
 	}
 	var buf bytes.Buffer
-	if err := All(&buf, smallScale); err != nil {
+	if err := All(context.Background(), &buf, smallScale); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Table I", "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 7", "Figure 8", "Figure 10", "Figure 11"} {

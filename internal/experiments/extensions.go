@@ -6,6 +6,7 @@ package experiments
 // time model.
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -59,14 +60,14 @@ func WAFProfiles() []workload.Profile {
 // WAF prints the §II trade-off: read/total SAF and write amplification
 // for the infinite log-structured layer, the finite cleaning layer under
 // both victim policies, and the media-cache layer shipped drives use.
-func WAF(w io.Writer, scale float64) error {
+func WAF(ctx context.Context, w io.Writer, scale float64) error {
 	tb := report.NewTable("Extension: translation-layer trade-off (read seeks vs write amplification)",
 		"workload", "layer", "read SAF", "total SAF", "WAF", "maint GB")
 	for _, p := range WAFProfiles() {
 		recs := p.Generate(scale)
 		frontier := trace.MaxLBA(recs)
 
-		base, err := runWith(core.Config{}, recs)
+		base, err := runWith(ctx, core.Config{}, recs)
 		if err != nil {
 			return err
 		}
@@ -106,7 +107,7 @@ func WAF(w io.Writer, scale float64) error {
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", p.Name, lay.label, err)
 			}
-			st, err := runWith(cfg, recs)
+			st, err := runWith(ctx, cfg, recs)
 			if err != nil {
 				return err
 			}
@@ -127,7 +128,7 @@ var TimeAmpWorkloads = []string{"usr_1", "hm_1", "w91", "w20", "usr_0"}
 // under each Figure 11 variant divided by the NoLS baseline, using the
 // 7200 RPM drive time model. Seek counts weight short and long seeks
 // equally; this view does not (§III's cost discussion).
-func TimeAmp(w io.Writer, scale float64) error {
+func TimeAmp(ctx context.Context, w io.Writer, scale float64) error {
 	tb := report.NewTable("Extension: modelled service-time amplification (7200 RPM model)",
 		"workload", "variant", "seek count SAF", "time amplification")
 	model := disk.DefaultTimeModel()
@@ -138,13 +139,13 @@ func TimeAmp(w io.Writer, scale float64) error {
 		}
 		recs := p.Generate(scale)
 		frontier := trace.MaxLBA(recs)
-		baseStats, baseTime, err := timedRun(core.Config{}, recs, model)
+		baseStats, baseTime, err := timedRun(ctx, core.Config{}, recs, model)
 		if err != nil {
 			return err
 		}
 		for _, cfg := range core.PaperVariants() {
 			cfg.FrontierStart = frontier
-			st, tm, err := timedRun(cfg, recs, model)
+			st, tm, err := timedRun(ctx, cfg, recs, model)
 			if err != nil {
 				return err
 			}
@@ -168,22 +169,22 @@ func writeFootprint(recs []trace.Record) int64 {
 	return set.Sectors()
 }
 
-func runWith(cfg core.Config, recs []trace.Record) (core.Stats, error) {
+func runWith(ctx context.Context, cfg core.Config, recs []trace.Record) (core.Stats, error) {
 	sim, err := core.NewSimulator(cfg)
 	if err != nil {
 		return core.Stats{}, err
 	}
-	return sim.Run(trace.NewSliceReader(recs))
+	return sim.RunContext(ctx, trace.NewSliceReader(recs))
 }
 
-func timedRun(cfg core.Config, recs []trace.Record, model disk.TimeModel) (core.Stats, int64, error) {
+func timedRun(ctx context.Context, cfg core.Config, recs []trace.Record, model disk.TimeModel) (core.Stats, int64, error) {
 	sim, err := core.NewSimulator(cfg)
 	if err != nil {
 		return core.Stats{}, 0, err
 	}
 	acc := disk.NewTimeAccumulator(model)
 	sim.Disk().AddObserver(acc)
-	st, err := sim.Run(trace.NewSliceReader(recs))
+	st, err := sim.RunContext(ctx, trace.NewSliceReader(recs))
 	if err != nil {
 		return core.Stats{}, 0, err
 	}

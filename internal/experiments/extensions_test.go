@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -20,7 +21,7 @@ func TestWAFProfilesValid(t *testing.T) {
 
 func TestWAFExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WAF(&buf, 0.2); err != nil {
+	if err := WAF(context.Background(), &buf, 0.2); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -47,7 +48,7 @@ func TestWAFExperiment(t *testing.T) {
 
 func TestTimeAmpExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := TimeAmp(&buf, 0.1); err != nil {
+	if err := TimeAmp(context.Background(), &buf, 0.1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -53,11 +54,11 @@ func TestForEachIndexedZeroAndOne(t *testing.T) {
 // TestParallelDeterminism: the parallel Fig11 sweep must produce
 // identical rows across runs.
 func TestParallelDeterminism(t *testing.T) {
-	a, err := Fig11Data(0.05)
+	a, err := Fig11Data(context.Background(), 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Fig11Data(0.05)
+	b, err := Fig11Data(context.Background(), 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,5 +69,86 @@ func TestParallelDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
 		}
+	}
+}
+
+// TestForEachIndexedStopsDispatchAfterError: once an invocation fails,
+// queued indices must be dropped, not run — the executed count stays far
+// below n even though the call returns promptly.
+func TestForEachIndexedStopsDispatchAfterError(t *testing.T) {
+	sentinel := errors.New("boom")
+	const n = 10000
+	var ran int64
+	err := forEachIndexed(n, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	// Every worker may have had one item in flight when the first error
+	// landed, but the dispatcher must not have drained the whole range.
+	if got := atomic.LoadInt64(&ran); got >= n {
+		t.Fatalf("all %d items ran despite the first failing", got)
+	}
+}
+
+func TestForEachIndexedCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	err := forEachIndexedCtx(ctx, 100, func(ctx context.Context, i int) error {
+		atomic.AddInt64(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt64(&ran); got != 0 {
+		t.Fatalf("%d invocations ran under a pre-cancelled context, want 0", got)
+	}
+}
+
+func TestForEachIndexedCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 10000
+	var ran int64
+	err := forEachIndexedCtx(ctx, n, func(ctx context.Context, i int) error {
+		if atomic.AddInt64(&ran, 1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt64(&ran); got >= n {
+		t.Fatalf("all %d items ran despite cancellation", got)
+	}
+}
+
+func TestForEachIndexedErrorWinsOverCancel(t *testing.T) {
+	sentinel := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := forEachIndexedCtx(ctx, 100, func(ctx context.Context, i int) error {
+		if i == 0 {
+			cancel()
+			return sentinel
+		}
+		return nil
+	})
+	// The invocation error was first; it must not be masked by the
+	// cancellation it raced with.
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel to win over ctx.Err()", err)
+	}
+}
+
+func TestFig11DataCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fig11Data(ctx, 0.05); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fig11Data under cancelled ctx = %v, want context.Canceled", err)
 	}
 }

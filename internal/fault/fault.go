@@ -1,0 +1,221 @@
+// Package fault is a deterministic, seeded fault injector for the disk
+// model. Real SMR drives surface latent sector errors, transient read
+// faults and occasional write failures; the simulator is only credible
+// as a robustness testbed when that misbehaviour can be injected,
+// observed and — with a fixed seed — reproduced byte for byte.
+//
+// The injector distinguishes three failure classes:
+//
+//   - transient faults: a read or write attempt fails with the
+//     configured probability, and an immediate retry of the same extent
+//     re-rolls (so bounded retries usually recover);
+//   - media errors: persistent per-PBA-range failures that no retry can
+//     clear, modelling grown defects;
+//   - poisoned buffers: data served from a RAM cache or drive buffer is
+//     corrupt with the configured probability, forcing the consumer to
+//     fall back to the medium.
+//
+// All randomness comes from a SplitMix64 stream seeded by Config.Seed,
+// so a faulted run is exactly reproducible across processes and Go
+// versions.
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+)
+
+// Kind classifies an injected fault.
+type Kind uint8
+
+const (
+	// Transient is a retryable fault: the next attempt re-rolls.
+	Transient Kind = iota + 1
+	// Media is a persistent media error on a configured PBA range;
+	// retries never succeed.
+	Media
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Media:
+		return "media"
+	}
+	return "unknown"
+}
+
+// Error is the error returned for an injected fault.
+type Error struct {
+	Kind   Kind
+	Op     disk.OpKind
+	Extent geom.Extent // physical extent of the failed attempt
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: %s %s error at %v", e.Kind, e.Op, e.Extent)
+}
+
+// IsTransient reports whether err is an injected fault a retry may
+// clear.
+func IsTransient(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Kind == Transient
+}
+
+// IsMedia reports whether err is a persistent media error.
+func IsMedia(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Kind == Media
+}
+
+// DefaultMaxRetries is the retry bound used when Config.MaxRetries is 0.
+const DefaultMaxRetries = 3
+
+// Config parameterizes the injector. The zero value injects nothing.
+type Config struct {
+	// Seed seeds the deterministic fault stream. Two runs with the same
+	// configuration and workload produce identical fault sequences.
+	Seed uint64
+	// ReadRate is the per-attempt probability of a transient read fault.
+	ReadRate float64
+	// WriteRate is the per-attempt probability of a transient write
+	// fault.
+	WriteRate float64
+	// PoisonRate is the per-serve probability that a cached or buffered
+	// copy is corrupt and must be discarded.
+	PoisonRate float64
+	// MediaRanges lists physical extents with persistent media errors:
+	// every attempt touching one fails, and retries never help.
+	MediaRanges []geom.Extent
+	// MaxRetries bounds the retries a simulator should spend on a
+	// transient fault; 0 means DefaultMaxRetries.
+	MaxRetries int
+}
+
+// Enabled reports whether the configuration can inject anything.
+func (c Config) Enabled() bool {
+	return c.ReadRate > 0 || c.WriteRate > 0 || c.PoisonRate > 0 || len(c.MediaRanges) > 0
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"ReadRate", c.ReadRate}, {"WriteRate", c.WriteRate}, {"PoisonRate", c.PoisonRate}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("fault: negative MaxRetries %d", c.MaxRetries)
+	}
+	for _, e := range c.MediaRanges {
+		if e.Start < 0 || e.Count <= 0 {
+			return fmt.Errorf("fault: invalid media range %v (want start >= 0, count > 0)", e)
+		}
+	}
+	return nil
+}
+
+// Counters tallies injected faults by class.
+type Counters struct {
+	TransientReads  int64 // transient read faults injected
+	TransientWrites int64 // transient write faults injected
+	MediaErrors     int64 // attempts rejected by a media range
+	Poisoned        int64 // buffer/cache serves declared corrupt
+}
+
+// Total returns all faults injected.
+func (c Counters) Total() int64 {
+	return c.TransientReads + c.TransientWrites + c.MediaErrors + c.Poisoned
+}
+
+// Injector produces the fault stream. It is not safe for concurrent use;
+// each simulator owns one, which is what keeps runs reproducible.
+type Injector struct {
+	cfg      Config
+	rng      uint64
+	counters Counters
+}
+
+// New returns an injector for the configuration.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{cfg: cfg, rng: cfg.Seed}, nil
+}
+
+// next steps the SplitMix64 stream.
+func (in *Injector) next() uint64 {
+	in.rng += 0x9e3779b97f4a7c15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// roll consumes one stream value and returns true with probability p.
+func (in *Injector) roll(p float64) bool {
+	v := float64(in.next()>>11) * (1.0 / (1 << 53))
+	return v < p
+}
+
+// CheckAccess decides the fate of one I/O attempt at the physical
+// extent. It implements disk.FaultChecker. Media ranges are checked
+// first (persistent, deterministic in the extent); otherwise the
+// configured transient rate for the operation kind is rolled.
+func (in *Injector) CheckAccess(kind disk.OpKind, ext geom.Extent) error {
+	for _, m := range in.cfg.MediaRanges {
+		if ext.Overlaps(m) {
+			in.counters.MediaErrors++
+			return &Error{Kind: Media, Op: kind, Extent: ext}
+		}
+	}
+	rate := in.cfg.ReadRate
+	if kind == disk.Write {
+		rate = in.cfg.WriteRate
+	}
+	if rate > 0 && in.roll(rate) {
+		if kind == disk.Write {
+			in.counters.TransientWrites++
+		} else {
+			in.counters.TransientReads++
+		}
+		return &Error{Kind: Transient, Op: kind, Extent: ext}
+	}
+	return nil
+}
+
+// Poisoned reports whether a copy about to be served from a cache or
+// drive buffer is corrupt. The consumer must discard the copy and fall
+// back to the medium.
+func (in *Injector) Poisoned() bool {
+	if in.cfg.PoisonRate <= 0 {
+		return false
+	}
+	if in.roll(in.cfg.PoisonRate) {
+		in.counters.Poisoned++
+		return true
+	}
+	return false
+}
+
+// MaxRetries returns the retry bound for transient faults.
+func (in *Injector) MaxRetries() int {
+	if in.cfg.MaxRetries > 0 {
+		return in.cfg.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+// Counters returns the injection tallies so far.
+func (in *Injector) Counters() Counters { return in.counters }

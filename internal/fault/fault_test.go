@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+)
+
+func TestValidate(t *testing.T) {
+	good := []Config{
+		{},
+		{Seed: 1, ReadRate: 0.5, WriteRate: 1, PoisonRate: 0},
+		{MediaRanges: []geom.Extent{geom.Ext(100, 8)}},
+		{MaxRetries: 10},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	bad := []Config{
+		{ReadRate: -0.1},
+		{WriteRate: 1.5},
+		{PoisonRate: 2},
+		{MaxRetries: -1},
+		{MediaRanges: []geom.Extent{geom.Ext(-1, 8)}},
+		{MediaRanges: []geom.Extent{geom.Ext(0, 0)}},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config must be disabled")
+	}
+	if !(Config{ReadRate: 0.1}).Enabled() || !(Config{MediaRanges: []geom.Extent{geom.Ext(0, 1)}}).Enabled() {
+		t.Error("non-zero config must be enabled")
+	}
+}
+
+// TestDeterminism: two injectors with the same seed produce identical
+// fault sequences; a different seed produces a different one.
+func TestDeterminism(t *testing.T) {
+	mk := func(seed uint64) []bool {
+		in, err := New(Config{Seed: seed, ReadRate: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 1000)
+		for i := range out {
+			out[i] = in.CheckAccess(disk.Read, geom.Ext(int64(i), 8)) != nil
+		}
+		return out
+	}
+	a, b, c := mk(42), mk(42), mk(43)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at %d", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical streams")
+	}
+}
+
+func TestRatesApproximate(t *testing.T) {
+	in, err := New(Config{Seed: 7, ReadRate: 0.25, WriteRate: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.CheckAccess(disk.Read, geom.Ext(int64(i), 1))
+		in.CheckAccess(disk.Write, geom.Ext(int64(i), 1))
+	}
+	c := in.Counters()
+	if f := float64(c.TransientReads) / n; f < 0.22 || f > 0.28 {
+		t.Errorf("read fault fraction %v, want ~0.25", f)
+	}
+	if f := float64(c.TransientWrites) / n; f < 0.72 || f > 0.78 {
+		t.Errorf("write fault fraction %v, want ~0.75", f)
+	}
+}
+
+func TestMediaRangesArePersistent(t *testing.T) {
+	in, err := New(Config{Seed: 1, MediaRanges: []geom.Extent{geom.Ext(1000, 100)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		err := in.CheckAccess(disk.Read, geom.Ext(1050, 8))
+		if !IsMedia(err) {
+			t.Fatalf("attempt %d: err = %v, want media error", i, err)
+		}
+		if IsTransient(err) {
+			t.Fatal("media error must not be transient")
+		}
+	}
+	// Accesses outside the range never fault (no transient rate set).
+	if err := in.CheckAccess(disk.Read, geom.Ext(0, 8)); err != nil {
+		t.Fatalf("outside range: %v", err)
+	}
+	// Writes into the range fail too (grown defect).
+	if err := in.CheckAccess(disk.Write, geom.Ext(999, 2)); !IsMedia(err) {
+		t.Fatalf("overlapping write: %v, want media error", err)
+	}
+	if got := in.Counters().MediaErrors; got != 11 {
+		t.Errorf("MediaErrors = %d, want 11", got)
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	e := &Error{Kind: Transient, Op: disk.Read, Extent: geom.Ext(8, 8)}
+	if !IsTransient(e) || IsMedia(e) {
+		t.Error("transient misclassified")
+	}
+	wrapped := errors.Join(errors.New("outer"), e)
+	if !IsTransient(wrapped) {
+		t.Error("errors.As must see through wrapping")
+	}
+	if IsTransient(errors.New("other")) || IsMedia(nil) {
+		t.Error("non-fault errors misclassified")
+	}
+	if e.Error() == "" || (&Error{Kind: Media, Op: disk.Write, Extent: geom.Ext(0, 1)}).Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestPoisoned(t *testing.T) {
+	in, err := New(Config{Seed: 5, PoisonRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !in.Poisoned() {
+			t.Fatal("PoisonRate 1 must always poison")
+		}
+	}
+	if in.Counters().Poisoned != 5 {
+		t.Errorf("Poisoned = %d, want 5", in.Counters().Poisoned)
+	}
+	off, err := New(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Poisoned() {
+		t.Error("zero PoisonRate must never poison")
+	}
+}
+
+func TestMaxRetriesDefault(t *testing.T) {
+	in, _ := New(Config{})
+	if in.MaxRetries() != DefaultMaxRetries {
+		t.Errorf("default MaxRetries = %d", in.MaxRetries())
+	}
+	in2, _ := New(Config{MaxRetries: 7})
+	if in2.MaxRetries() != 7 {
+		t.Errorf("MaxRetries = %d, want 7", in2.MaxRetries())
+	}
+}
+
+func TestCountersTotal(t *testing.T) {
+	c := Counters{TransientReads: 1, TransientWrites: 2, MediaErrors: 3, Poisoned: 4}
+	if c.Total() != 10 {
+		t.Errorf("Total = %d, want 10", c.Total())
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Config{ReadRate: -1}); err == nil {
+		t.Error("New must validate")
+	}
+}

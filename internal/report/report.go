@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"smrseek/internal/metrics"
 )
 
 // Table is a simple column-aligned text table.
@@ -150,6 +152,25 @@ func Sparkline(values []int64) string {
 		b.WriteRune(glyphs[idx])
 	}
 	return b.String()
+}
+
+// ResilienceTable renders a run's fault-injection and recovery tallies
+// as a metric/value table, in a fixed order so faulted runs are
+// byte-for-byte comparable across invocations.
+func ResilienceTable(r metrics.Resilience) *Table {
+	tb := NewTable("fault injection & recovery", "metric", "value")
+	tb.AddRow("faults injected", HumanCount(r.FaultsInjected))
+	tb.AddRow("transient faults", HumanCount(r.TransientFaults))
+	tb.AddRow("media errors", HumanCount(r.MediaFaults))
+	tb.AddRow("write faults", HumanCount(r.WriteFaults))
+	tb.AddRow("retries", HumanCount(r.Retries))
+	tb.AddRow("recoveries", HumanCount(r.Recoveries))
+	tb.AddRow("unrecovered", HumanCount(r.Unrecovered))
+	tb.AddRow("recovery rate", fmt.Sprintf("%.2f%%", 100*r.RecoveryRate()))
+	tb.AddRow("aborted relocations", HumanCount(r.AbortedRelocations))
+	tb.AddRow("poisoned cache evictions", HumanCount(r.PoisonedEvictions))
+	tb.AddRow("prefetch fallbacks", HumanCount(r.PrefetchFallbacks))
+	return tb
 }
 
 // HumanBytes formats a byte count with binary units.

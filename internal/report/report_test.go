@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"smrseek/internal/metrics"
 )
 
 func TestTableRender(t *testing.T) {
@@ -111,5 +113,39 @@ func TestHumanCount(t *testing.T) {
 		if got := HumanCount(c.n); got != c.want {
 			t.Errorf("HumanCount(%d) = %q, want %q", c.n, got, c.want)
 		}
+	}
+}
+
+func TestResilienceTable(t *testing.T) {
+	r := metrics.Resilience{
+		FaultsInjected:  1500,
+		TransientFaults: 1400,
+		MediaFaults:     100,
+		Retries:         2000,
+		Recoveries:      1300,
+		Unrecovered:     100,
+	}
+	var buf bytes.Buffer
+	if err := ResilienceTable(r).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fault injection & recovery",
+		"faults injected", "1,500",
+		"recovery rate", "92.86%",
+		"aborted relocations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Rendering is deterministic: same tallies, same bytes.
+	var again bytes.Buffer
+	if err := ResilienceTable(r).Render(&again); err != nil {
+		t.Fatal(err)
+	}
+	if out != again.String() {
+		t.Error("two renders of the same tallies differ")
 	}
 }

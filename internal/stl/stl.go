@@ -39,6 +39,20 @@ type Layer interface {
 	Name() string
 }
 
+// Previewer is implemented by layers that can report where a write
+// would land without mutating any state. Simulators use it to make
+// relocations (defrag write-backs) atomic under faults: the disk I/O is
+// attempted against the previewed placement first, and the mapping is
+// committed only if every attempt succeeds — an aborted relocation
+// leaves the extent map exactly as it was.
+type Previewer interface {
+	// PreviewWrite returns the fragments Write(lba) would produce, in
+	// write order, without performing the write. A subsequent Write of
+	// the same extent (with no intervening writes) must land exactly on
+	// the previewed placement.
+	PreviewWrite(lba geom.Extent) []Fragment
+}
+
 // NoLS is the untranslated baseline: every LBA lives at PBA == LBA, and
 // writes update in place.
 type NoLS struct{}
@@ -105,6 +119,15 @@ func (l *LS) Write(lba geom.Extent) []Fragment {
 	return []Fragment{{Lba: lba, Pba: pba}}
 }
 
+// PreviewWrite implements Previewer: the whole extent would land at the
+// current frontier. No state changes.
+func (l *LS) PreviewWrite(lba geom.Extent) []Fragment {
+	if lba.Empty() {
+		return nil
+	}
+	return []Fragment{{Lba: lba, Pba: l.frontier}}
+}
+
 // Name implements Layer.
 func (l *LS) Name() string { return "LS" }
 
@@ -122,6 +145,7 @@ func (l *LS) Map() *extmap.Map { return l.m }
 func (l *LS) Fragments(lba geom.Extent) int { return l.m.Fragments(lba) }
 
 var (
-	_ Layer = (*NoLS)(nil)
-	_ Layer = (*LS)(nil)
+	_ Layer     = (*NoLS)(nil)
+	_ Layer     = (*LS)(nil)
+	_ Previewer = (*LS)(nil)
 )

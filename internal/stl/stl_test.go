@@ -1,6 +1,7 @@
 package stl
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -126,5 +127,34 @@ func TestLSResolveTilesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestLSPreviewWriteMatchesWrite(t *testing.T) {
+	l := NewLS(1000)
+	l.Write(geom.Ext(0, 8))
+	l.Write(geom.Ext(500, 4))
+
+	target := geom.Ext(0, 16)
+	preview := l.PreviewWrite(target)
+	if len(preview) != 1 || preview[0].Pba != l.Frontier() {
+		t.Fatalf("preview = %v, want one fragment at the frontier %d", preview, l.Frontier())
+	}
+	// Preview must not mutate: resolving and the frontier are unchanged,
+	// and a second preview agrees.
+	before := l.Frontier()
+	if got := l.PreviewWrite(target); !reflect.DeepEqual(got, preview) {
+		t.Errorf("repeated preview diverged: %v vs %v", got, preview)
+	}
+	if l.Frontier() != before {
+		t.Errorf("preview moved the frontier: %d -> %d", before, l.Frontier())
+	}
+	// The contract: a subsequent Write with no intervening writes lands
+	// exactly on the previewed placement.
+	if got := l.Write(target); !reflect.DeepEqual(got, preview) {
+		t.Errorf("Write landed at %v, previewed %v", got, preview)
+	}
+	if l.PreviewWrite(geom.Extent{}) != nil {
+		t.Error("preview of an empty extent should be nil")
 	}
 }

@@ -60,7 +60,11 @@ func (c *CPReader) Next() (Record, bool) {
 		}
 		return rec, true
 	}
-	c.err = c.s.Err()
+	// A scanner failure (an over-long line, a read error) happens after
+	// the last counted line; report the position like parse errors do.
+	if err := c.s.Err(); err != nil {
+		c.err = fmt.Errorf("cloudphysics trace line %d: %w", c.line+1, err)
+	}
 	return Record{}, false
 }
 

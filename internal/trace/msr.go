@@ -64,7 +64,11 @@ func (m *MSRReader) Next() (Record, bool) {
 			return rec, true
 		}
 	}
-	m.err = m.s.Err()
+	// A scanner failure (an over-long line, a read error) happens after
+	// the last counted line; report the position like parse errors do.
+	if err := m.s.Err(); err != nil {
+		m.err = fmt.Errorf("msr trace line %d: %w", m.line+1, err)
+	}
 	return Record{}, false
 }
 

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// Malformed trace input must never panic and must fail with an error
+// naming the offending line, so a corrupt multi-gigabyte trace file is
+// diagnosable.
+
+func drain(t *testing.T, r Reader) error {
+	t.Helper()
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("reader panicked: %v", p)
+		}
+	}()
+	for {
+		if _, ok := r.Next(); !ok {
+			return r.Err()
+		}
+	}
+}
+
+func TestMSRMalformedLines(t *testing.T) {
+	cases := []struct {
+		name, input, wantLine string
+	}{
+		{"too few fields", "128166372003061629,host,0,Read,1024\n", "line 1"},
+		{"bad timestamp", "xyz,host,0,Read,1024,4096,0\n", "line 1"},
+		{"bad disk number", "1,host,zero,Read,1024,4096,0\n", "line 1"},
+		{"unknown op", "1,host,0,Trim,1024,4096,0\n", "line 1"},
+		{"bad offset", "1,host,0,Read,ten,4096,0\n", "line 1"},
+		{"bad size", "1,host,0,Read,1024,big,0\n", "line 1"},
+		{"negative offset", "1,host,0,Read,-5,4096,0\n", "line 1"},
+		{"error on later line", "1,host,0,Read,0,4096,0\n2,host,0,Write,512,512,0\ngarbage\n", "line 3"},
+		{"truncated line", "1,host,0,Read,102", "line 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := drain(t, NewMSRReader(strings.NewReader(tc.input), -1))
+			if err == nil {
+				t.Fatal("malformed input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantLine) {
+				t.Errorf("error %q does not name %s", err, tc.wantLine)
+			}
+		})
+	}
+}
+
+func TestCPMalformedLines(t *testing.T) {
+	cases := []struct {
+		name, input, wantLine string
+	}{
+		{"too few fields", "0,R,100\n", "line 1"},
+		{"too many fields", "0,R,100,8,extra\n", "line 1"},
+		{"bad time", "zero,R,100,8\n", "line 1"},
+		{"unknown op", "0,T,100,8\n", "line 1"},
+		{"bad lba", "0,R,abc,8\n", "line 1"},
+		{"bad sectors", "0,R,100,abc\n", "line 1"},
+		{"negative sectors", "0,R,100,-8\n", "line 1"},
+		{"error after header and blanks", CPHeader + "\n\n0,R,100,8\nbroken\n", "line 4"},
+		{"truncated line", "0,R,10", "line 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := drain(t, NewCPReader(strings.NewReader(tc.input)))
+			if err == nil {
+				t.Fatal("malformed input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantLine) {
+				t.Errorf("error %q does not name %s", err, tc.wantLine)
+			}
+		})
+	}
+}
+
+func TestScannerErrorsCarryLineNumbers(t *testing.T) {
+	// A line longer than the scanner's 1 MB cap triggers
+	// bufio.ErrTooLong, which used to surface without position info.
+	long := "1,host,0,Read,0,4096,0\n" + strings.Repeat("x", 2<<20)
+	err := drain(t, NewMSRReader(strings.NewReader(long), -1))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("MSR scanner error = %v, want line 2 context", err)
+	}
+	err = drain(t, NewCPReader(strings.NewReader(CPHeader+"\n"+strings.Repeat("y", 2<<20))))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("CP scanner error = %v, want line 2 context", err)
+	}
+}
+
+func TestReadersSurviveJunkWithoutPanic(t *testing.T) {
+	junk := []string{
+		"",
+		"\x00\x00\x00\x00",
+		",,,,,,",
+		"\n\n\n",
+		strings.Repeat(",", 100),
+		"１,host,0,Read,0,4096,0", // full-width digit
+	}
+	for _, in := range junk {
+		drain(t, NewMSRReader(strings.NewReader(in), -1))
+		drain(t, NewCPReader(strings.NewReader(in)))
+	}
+}
+
+func TestErroredReaderStaysErrored(t *testing.T) {
+	r := NewCPReader(strings.NewReader("garbage\n0,R,100,8\n"))
+	if _, ok := r.Next(); ok {
+		t.Fatal("Next succeeded on garbage")
+	}
+	first := r.Err()
+	if first == nil {
+		t.Fatal("no error recorded")
+	}
+	// Further Next calls must not clear the error or yield records.
+	if _, ok := r.Next(); ok {
+		t.Error("Next yielded a record after an error")
+	}
+	if r.Err() != first {
+		t.Error("error changed on subsequent Next")
+	}
+}

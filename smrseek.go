@@ -20,6 +20,7 @@
 package smrseek
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -27,7 +28,9 @@ import (
 	"smrseek/internal/core"
 	"smrseek/internal/disk"
 	"smrseek/internal/experiments"
+	"smrseek/internal/fault"
 	"smrseek/internal/geom"
+	"smrseek/internal/metrics"
 	"smrseek/internal/stl"
 	"smrseek/internal/trace"
 	"smrseek/internal/workload"
@@ -57,6 +60,13 @@ type (
 	PrefetchConfig = core.PrefetchConfig
 	// CacheConfig parameterizes translation-aware selective caching.
 	CacheConfig = core.CacheConfig
+
+	// FaultConfig parameterizes deterministic fault injection; set it on
+	// Config.Fault to run a simulation under injected disk errors.
+	FaultConfig = fault.Config
+	// Resilience tallies injected faults and recovery outcomes for a run
+	// (Stats.Resilience).
+	Resilience = metrics.Resilience
 
 	// Record is one block I/O operation.
 	Record = trace.Record
@@ -101,6 +111,12 @@ func NewSimulator(cfg Config) (*Simulator, error) { return core.NewSimulator(cfg
 // LS configurations with FrontierStart == 0 get the frontier placed just
 // above the highest LBA in the trace, per the paper's model.
 func Run(cfg Config, recs []Record) (Stats, error) {
+	return RunContext(context.Background(), cfg, recs)
+}
+
+// RunContext is Run with cancellation: a cancelled or expired context
+// stops the simulation and returns ctx.Err().
+func RunContext(ctx context.Context, cfg Config, recs []Record) (Stats, error) {
 	if cfg.LogStructured && cfg.FrontierStart == 0 {
 		cfg.FrontierStart = trace.MaxLBA(recs)
 	}
@@ -108,7 +124,7 @@ func Run(cfg Config, recs []Record) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	return sim.Run(trace.NewSliceReader(recs))
+	return sim.RunContext(ctx, trace.NewSliceReader(recs))
 }
 
 // Compare runs the records through the NoLS baseline and each variant,
@@ -117,9 +133,19 @@ func Compare(recs []Record, variants ...Config) (Comparison, error) {
 	return core.Compare(recs, variants...)
 }
 
+// CompareContext is Compare with cancellation.
+func CompareContext(ctx context.Context, recs []Record, variants ...Config) (Comparison, error) {
+	return core.CompareContext(ctx, recs, variants...)
+}
+
 // ComparePaper runs the Figure 11 variant set: LS, LS+defrag,
 // LS+prefetch and LS+cache(64 MB).
 func ComparePaper(recs []Record) (Comparison, error) { return core.ComparePaper(recs) }
+
+// ComparePaperContext is ComparePaper with cancellation.
+func ComparePaperContext(ctx context.Context, recs []Record) (Comparison, error) {
+	return core.ComparePaperContext(ctx, recs)
+}
 
 // PaperVariants returns the four Figure 11 configurations.
 func PaperVariants() []Config { return core.PaperVariants() }
@@ -202,8 +228,14 @@ func ReadAll(r Reader) ([]Record, error) { return trace.ReadAll(r) }
 // "fig2" ... "fig11", or "all"), writing its rendering to w. Scale
 // multiplies each workload's base operation count (0 uses the default).
 func RunExperiment(w io.Writer, name string, scale float64) error {
+	return RunExperimentContext(context.Background(), w, name, scale)
+}
+
+// RunExperimentContext is RunExperiment with cancellation: a cancelled
+// or expired context stops the experiment and returns ctx.Err().
+func RunExperimentContext(ctx context.Context, w io.Writer, name string, scale float64) error {
 	if scale <= 0 {
 		scale = experiments.DefaultScale
 	}
-	return experiments.Run(w, name, scale)
+	return experiments.RunContext(ctx, w, name, scale)
 }
