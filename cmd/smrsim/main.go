@@ -8,14 +8,19 @@
 //	smrsim -workload w91 -all
 //	smrsim -workload hm_1 -ls -cache -time
 //	smrsim -trace disk0.csv -format msr -disk 0 -ls -prefetch
+//	smrsim -workload hm_1 -journal /tmp/wal -checkpoint-every 1000
+//	smrsim -workload hm_1 -journal /tmp/wal -crash-after 500   # then:
+//	smrsim -journal /tmp/wal -recover
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -24,8 +29,10 @@ import (
 	"smrseek/internal/core"
 	"smrseek/internal/disk"
 	"smrseek/internal/geom"
+	"smrseek/internal/journal"
 	"smrseek/internal/metrics"
 	"smrseek/internal/report"
+	"smrseek/internal/stl"
 	"smrseek/internal/trace"
 )
 
@@ -57,8 +64,16 @@ func run(args []string, out io.Writer) error {
 		faultSeed    = fs.Uint64("fault-seed", 1, "fault injector seed (same seed => identical fault sequence)")
 		mediaErrors  = fs.String("media-errors", "", `persistent media-error PBA ranges, "start:count,start:count,..."`)
 		timeout      = fs.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit)")
+		journalDir   = fs.String("journal", "", "write-ahead-journal directory: STL mutations are logged and checkpointed there (implies -ls)")
+		ckptEvery    = fs.Int64("checkpoint-every", 4096, "checkpoint the STL after this many journal records (with -journal; 0 = never)")
+		crashAfter   = fs.Int64("crash-after", 0, "inject a crash on the Nth journal append, leaving a torn record (with -journal)")
+		recoverFlag  = fs.Bool("recover", false, "recover the STL state from the -journal directory; alone it just reports, with a workload it continues the run")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateFlags(*scale, *timeout, *journalDir, *ckptEvery, *crashAfter,
+		*recoverFlag, *all, *layerName, *cacheMB); err != nil {
 		return err
 	}
 
@@ -72,6 +87,11 @@ func run(args []string, out io.Writer) error {
 	faultCfg, err := buildFaultConfig(*faultRate, *poisonRate, *faultSeed, *mediaErrors)
 	if err != nil {
 		return err
+	}
+
+	// Standalone recovery: report what the journal directory holds.
+	if *recoverFlag && *workloadName == "" && *tracePath == "" {
+		return runRecoverOnly(out, *journalDir)
 	}
 
 	recs, name, err := loadRecords(*workloadName, *scale, *tracePath, *format, *diskNum)
@@ -89,7 +109,8 @@ func run(args []string, out io.Writer) error {
 		return runAll(ctx, out, recs)
 	}
 
-	cfg := smrseek.Config{LogStructured: *layerName == "" && (*ls || *defrag || *prefetch || *cache)}
+	cfg := smrseek.Config{LogStructured: *layerName == "" &&
+		(*ls || *defrag || *prefetch || *cache || *journalDir != "")}
 	if *layerName != "" {
 		layer, err := buildLayer(*layerName, recs)
 		if err != nil {
@@ -110,7 +131,109 @@ func run(args []string, out io.Writer) error {
 		cfg.Cache = &cc
 	}
 	cfg.Fault = faultCfg
-	return runOne(ctx, out, recs, cfg, *withTime)
+
+	var recovery *stl.ReplayStats
+	if *journalDir != "" {
+		if cfg.FrontierStart == 0 {
+			cfg.FrontierStart = core.FrontierFor(recs)
+		}
+		var lg *journal.Log
+		if *recoverFlag {
+			recovered, rst, err := stl.RecoverDir(*journalDir)
+			if err != nil {
+				return err
+			}
+			recovery = &rst
+			// The recovered state (journal included) becomes the new
+			// checkpoint; the journal — possibly torn — is reborn clean.
+			if err := os.Remove(journal.JournalPath(*journalDir)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
+			lg, err = journal.Open(*journalDir, recovered.Frontier())
+			if err != nil {
+				return err
+			}
+			if err := lg.Checkpoint(recovered.Snapshot()); err != nil {
+				return err
+			}
+			cfg.LogStructured = false
+			cfg.CustomLayer = recovered
+		} else {
+			// A fresh run must not append to a directory that already
+			// holds another run's history: the combined log would no
+			// longer describe one coherent state and recovery would
+			// (rightly) refuse it.
+			for _, p := range []string{journal.JournalPath(*journalDir), journal.CheckpointPath(*journalDir)} {
+				if _, statErr := os.Stat(p); statErr == nil {
+					return fmt.Errorf("journal directory %s already holds state (%s); pass -recover to resume it or use an empty directory", *journalDir, filepath.Base(p))
+				}
+			}
+			lg, err = journal.Open(*journalDir, cfg.FrontierStart)
+			if err != nil {
+				return err
+			}
+		}
+		defer lg.Close()
+		if *crashAfter > 0 {
+			// Tear the record mid-payload: the worst-case torn write the
+			// recovery path must detect and discard.
+			lg.CrashAfter(*crashAfter, 12)
+		}
+		cfg.Journal = &core.JournalConfig{Log: lg, CheckpointEvery: *ckptEvery}
+	}
+	return runOne(ctx, out, recs, cfg, *withTime, recovery)
+}
+
+// validateFlags rejects nonsensical flag combinations up front, before
+// any trace is loaded or journal created.
+func validateFlags(scale float64, timeout time.Duration, journalDir string,
+	ckptEvery, crashAfter int64, recoverFlag, all bool, layerName string, cacheMB int64) error {
+	switch {
+	case scale <= 0:
+		return fmt.Errorf("-scale %v must be positive", scale)
+	case timeout < 0:
+		return fmt.Errorf("-timeout %v must not be negative", timeout)
+	case cacheMB <= 0:
+		return fmt.Errorf("-cache-mb %d must be positive", cacheMB)
+	case ckptEvery < 0:
+		return fmt.Errorf("-checkpoint-every %d must not be negative", ckptEvery)
+	case crashAfter < 0:
+		return fmt.Errorf("-crash-after %d must not be negative", crashAfter)
+	case recoverFlag && journalDir == "":
+		return fmt.Errorf("-recover requires -journal DIR (there is nothing to recover from)")
+	case crashAfter > 0 && journalDir == "":
+		return fmt.Errorf("-crash-after requires -journal DIR (crash points live in the journal)")
+	case journalDir != "" && all:
+		return fmt.Errorf("-journal cannot be combined with -all (journaling follows one run)")
+	case journalDir != "" && layerName != "":
+		return fmt.Errorf("-journal requires the built-in LS layer, not -layer %s", layerName)
+	}
+	return nil
+}
+
+// runRecoverOnly recovers the STL state from the journal directory and
+// reports what replay found, without running any workload.
+func runRecoverOnly(out io.Writer, dir string) error {
+	recovered, rst, err := stl.RecoverDir(dir)
+	if err != nil {
+		return err
+	}
+	m := recovered.Map()
+	fmt.Fprintf(out, "recovered STL state from %s: frontier %d, %s mappings, %s mapped sectors\n",
+		dir, recovered.Frontier(), report.HumanCount(int64(m.Len())), report.HumanCount(m.MappedSectors()))
+	return report.DurabilityTable(replayDurability(rst)).Render(out)
+}
+
+// replayDurability converts recovery replay stats to the report's
+// durability tallies.
+func replayDurability(rst stl.ReplayStats) metrics.Durability {
+	return metrics.Durability{
+		Recovered:       true,
+		RecordsReplayed: rst.Replayed,
+		ReplayedSectors: rst.ReplayedSectors,
+		TornTail:        rst.TornTail,
+		FromCheckpoint:  rst.FromCheckpoint,
+	}
 }
 
 // buildFaultConfig assembles a fault configuration from the CLI flags,
@@ -233,7 +356,7 @@ func runAll(ctx context.Context, out io.Writer, recs []smrseek.Record) error {
 	return tb.Render(out)
 }
 
-func runOne(ctx context.Context, out io.Writer, recs []smrseek.Record, cfg smrseek.Config, withTime bool) error {
+func runOne(ctx context.Context, out io.Writer, recs []smrseek.Record, cfg smrseek.Config, withTime bool, recovery *stl.ReplayStats) error {
 	// Baseline for SAF, always fault-free so SAF compares like with like.
 	base, err := smrseek.RunContext(ctx, smrseek.Config{}, recs)
 	if err != nil {
@@ -253,7 +376,8 @@ func runOne(ctx context.Context, out io.Writer, recs []smrseek.Record, cfg smrse
 		sim.Disk().AddObserver(acc)
 	}
 	st, err := sim.RunContext(ctx, trace.NewSliceReader(recs))
-	if err != nil {
+	crashed := errors.Is(err, journal.ErrCrashed)
+	if err != nil && !crashed {
 		return err
 	}
 
@@ -290,7 +414,28 @@ func runOne(ctx context.Context, out io.Writer, recs []smrseek.Record, cfg smrse
 	}
 	if cfg.Fault != nil {
 		fmt.Fprintln(out)
-		return report.ResilienceTable(st.Resilience).Render(out)
+		if err := report.ResilienceTable(st.Resilience).Render(out); err != nil {
+			return err
+		}
+	}
+	if cfg.Journal != nil {
+		d := st.Durability
+		if recovery != nil {
+			r := replayDurability(*recovery)
+			d.Recovered = true
+			d.RecordsReplayed = r.RecordsReplayed
+			d.ReplayedSectors = r.ReplayedSectors
+			d.TornTail = r.TornTail
+			d.FromCheckpoint = r.FromCheckpoint
+		}
+		fmt.Fprintln(out)
+		if err := report.DurabilityTable(d).Render(out); err != nil {
+			return err
+		}
+	}
+	if crashed {
+		fmt.Fprintf(out, "\nsimulation crashed at the injected crash point after %s journal appends; run again with -recover to replay the journal\n",
+			report.HumanCount(st.Durability.JournalAppends))
 	}
 	return nil
 }

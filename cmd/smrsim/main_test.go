@@ -175,3 +175,96 @@ func TestRunTimeout(t *testing.T) {
 		t.Errorf("err = %v, want context.DeadlineExceeded", err)
 	}
 }
+
+func TestRunJournaled(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	var buf bytes.Buffer
+	args := []string{"-workload", "hm_1", "-scale", "0.2", "-journal", dir,
+		"-checkpoint-every", "500"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"LS+wal results", "write-ahead journal & recovery",
+		"journal appends", "checkpoints", "checkpoint age (records)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The pair left behind is recoverable standalone.
+	var rec bytes.Buffer
+	if err := run([]string{"-journal", dir, "-recover"}, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.String(), "recovered STL state") {
+		t.Errorf("recover output:\n%s", rec.String())
+	}
+	// A second fresh run must not append to the used directory: the
+	// combined log would no longer describe one coherent history.
+	var again bytes.Buffer
+	err := run(args, &again)
+	if err == nil || !strings.Contains(err.Error(), "-recover") {
+		t.Errorf("fresh run on used journal dir: err = %v, want refusal", err)
+	}
+}
+
+func TestRunCrashThenRecover(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	var buf bytes.Buffer
+	args := []string{"-workload", "hm_1", "-scale", "0.2", "-journal", dir,
+		"-checkpoint-every", "20", "-crash-after", "30"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"simulation crashed", "-recover", "crashed", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("crash output missing %q:\n%s", want, out)
+		}
+	}
+	// Standalone recovery reports the torn tail.
+	var rec bytes.Buffer
+	if err := run([]string{"-journal", dir, "-recover"}, &rec); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"recovered STL state", "torn tail detected", "records replayed"} {
+		if !strings.Contains(rec.String(), want) {
+			t.Errorf("recover output missing %q:\n%s", want, rec.String())
+		}
+	}
+	// Recover-and-continue finishes a fresh workload on the recovered map.
+	var cont bytes.Buffer
+	args = []string{"-workload", "hm_1", "-scale", "0.1", "-journal", dir, "-recover"}
+	if err := run(args, &cont); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"LS+wal results", "recovered from checkpoint"} {
+		if !strings.Contains(cont.String(), want) {
+			t.Errorf("continue output missing %q:\n%s", want, cont.String())
+		}
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := map[string][]string{
+		"negative scale":             {"-workload", "hm_1", "-scale", "-1"},
+		"zero scale":                 {"-workload", "hm_1", "-scale", "0"},
+		"negative timeout":           {"-workload", "hm_1", "-timeout", "-1s"},
+		"zero cache-mb":              {"-workload", "hm_1", "-cache", "-cache-mb", "0"},
+		"negative fault rate":        {"-workload", "hm_1", "-fault-rate", "-0.5"},
+		"fault rate above 1":         {"-workload", "hm_1", "-fault-rate", "1.5"},
+		"negative poison rate":       {"-workload", "hm_1", "-poison-rate", "-1"},
+		"recover without journal":    {"-workload", "hm_1", "-recover"},
+		"crash without journal":      {"-workload", "hm_1", "-crash-after", "5"},
+		"negative crash point":       {"-workload", "hm_1", "-journal", "x", "-crash-after", "-2"},
+		"negative checkpoint period": {"-workload", "hm_1", "-journal", "x", "-checkpoint-every", "-1"},
+		"journal with all":           {"-workload", "hm_1", "-journal", "x", "-all"},
+		"journal with custom layer":  {"-workload", "hm_1", "-journal", "x", "-layer", "segls"},
+	}
+	for name, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("%s: accepted %v", name, args)
+		}
+	}
+}

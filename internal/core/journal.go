@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"smrseek/internal/fault"
+	"smrseek/internal/geom"
+	"smrseek/internal/journal"
+)
+
+// JournalConfig enables write-ahead journaling of the log-structured
+// layer's mutations: every host write and defrag relocation is appended
+// to the log before the extent map is touched, and the full state is
+// checkpointed periodically. A simulation that stops at any point —
+// including an injected crash mid-append — can then be recovered with
+// stl.RecoverDir to state bit-identical to the live layer.
+type JournalConfig struct {
+	// Log is the open write-ahead log (journal.Open). The simulator
+	// appends to it and checkpoints through it; the caller closes it.
+	Log *journal.Log
+	// CheckpointEvery checkpoints the layer after this many journal
+	// records have accumulated since the last checkpoint. 0 never
+	// checkpoints (the journal grows for the whole run).
+	CheckpointEvery int64
+}
+
+// Validate reports configuration errors.
+func (c JournalConfig) Validate() error {
+	if c.Log == nil {
+		return fmt.Errorf("core: JournalConfig.Log is nil")
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("core: negative CheckpointEvery %d", c.CheckpointEvery)
+	}
+	return nil
+}
+
+// journalAppend write-ahead-logs one mutation, retrying transient
+// journal-device faults with the same bounded budget disk I/O gets. It
+// returns true when the record is durable and the mutation may proceed.
+// On false the caller must NOT apply the mutation: either the append
+// failed leaving nothing persisted (the op is dropped, keeping live
+// state equal to replay state), or an injected crash fired and the
+// simulation is over (s.jerr is set).
+func (s *Simulator) journalAppend(kind journal.RecordKind, lba geom.Extent, pba geom.Sector) bool {
+	rec := journal.Record{Kind: kind, Lba: lba, Pba: pba}
+	err := s.wal.Append(rec)
+	if err == nil {
+		s.stats.Durability.JournalAppends++
+		return true
+	}
+	maxRetries := fault.DefaultMaxRetries
+	if s.injector != nil {
+		maxRetries = s.injector.MaxRetries()
+	}
+	for attempt := 0; attempt < maxRetries && fault.IsTransient(err); attempt++ {
+		s.stats.Durability.AppendRetries++
+		if err = s.wal.Append(rec); err == nil {
+			s.stats.Durability.JournalAppends++
+			return true
+		}
+	}
+	if errors.Is(err, journal.ErrCrashed) {
+		s.stats.Durability.Crashed = true
+		s.jerr = err
+		return false
+	}
+	s.stats.Durability.AppendFailures++
+	if !fault.IsTransient(err) {
+		// The journal device is broken beyond retry: continuing would
+		// silently diverge the durable state, so stop the run.
+		s.jerr = err
+	}
+	return false
+}
+
+// maybeCheckpoint checkpoints the layer once enough journal records
+// have accumulated. It runs only after an operation's mutations have
+// fully completed — checkpointing between a record's append and its
+// mutation would truncate a record whose effect is not yet in the
+// snapshot.
+func (s *Simulator) maybeCheckpoint() {
+	if s.wal == nil || s.ckptEvery <= 0 || s.jerr != nil {
+		return
+	}
+	if s.wal.SinceCheckpoint() < s.ckptEvery {
+		return
+	}
+	if err := s.wal.Checkpoint(s.ls.Snapshot()); err != nil {
+		if errors.Is(err, journal.ErrCrashed) {
+			s.stats.Durability.Crashed = true
+		}
+		s.jerr = err
+		return
+	}
+	s.stats.Durability.Checkpoints++
+}
+
+// JournalErr returns the sticky journal error that stopped the
+// simulation (journal.ErrCrashed after an injected crash point), or nil.
+func (s *Simulator) JournalErr() error { return s.jerr }

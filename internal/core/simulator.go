@@ -7,6 +7,7 @@ import (
 	"smrseek/internal/disk"
 	"smrseek/internal/fault"
 	"smrseek/internal/geom"
+	"smrseek/internal/journal"
 	"smrseek/internal/metrics"
 	"smrseek/internal/stl"
 	"smrseek/internal/trace"
@@ -36,6 +37,11 @@ type Config struct {
 	// model rejects accesses per the configuration and the simulator
 	// retries, degrades and records the outcome (see Stats.Resilience).
 	Fault *fault.Config
+	// Journal enables write-ahead journaling of the LS layer's mutations
+	// when non-nil (see JournalConfig). Requires the built-in LS layer —
+	// either LogStructured or a *stl.LS CustomLayer (e.g. one produced by
+	// stl.RecoverDir to continue a recovered run).
+	Journal *JournalConfig
 }
 
 // translated reports whether the configured layer relocates data (i.e.
@@ -61,6 +67,9 @@ func (c Config) Name() string {
 	if c.Cache != nil {
 		n += "+cache"
 	}
+	if c.Journal != nil {
+		n += "+wal"
+	}
 	if c.Fault != nil && c.Fault.Enabled() {
 		n += "+faults"
 	}
@@ -80,7 +89,20 @@ func (c Config) Validate() error {
 		if c.Defrag != nil || c.Prefetch != nil || c.Cache != nil {
 			return fmt.Errorf("core: mechanisms require a translating layer")
 		}
+		if c.Journal != nil {
+			return fmt.Errorf("core: journaling requires the log-structured layer")
+		}
 		return nil
+	}
+	if c.Journal != nil {
+		if err := c.Journal.Validate(); err != nil {
+			return err
+		}
+		if !c.LogStructured {
+			if _, ok := c.CustomLayer.(*stl.LS); !ok {
+				return fmt.Errorf("core: journaling requires the log-structured layer, not %s", c.CustomLayer.Name())
+			}
+		}
 	}
 	if c.LogStructured && c.CustomLayer != nil {
 		return fmt.Errorf("core: LogStructured and CustomLayer are mutually exclusive")
@@ -143,6 +165,10 @@ type Stats struct {
 	// Resilience tallies fault injection and recovery (all zero when
 	// fault injection is disabled).
 	Resilience metrics.Resilience
+
+	// Durability tallies write-ahead-journal activity (all zero when
+	// journaling is disabled).
+	Durability metrics.Durability
 }
 
 // ReadSAF, WriteSAF and TotalSAF are computed against a baseline by the
@@ -176,6 +202,9 @@ type Simulator struct {
 	prefetch   *Prefetcher
 	cache      *SelectiveCache
 	injector   *fault.Injector // nil unless fault injection is enabled
+	wal        *journal.Log    // nil unless journaling is enabled
+	ckptEvery  int64           // checkpoint threshold in journal records
+	jerr       error           // sticky journal failure; set => run is over
 
 	opIndex   int64
 	stats     Stats
@@ -191,6 +220,12 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	switch {
 	case cfg.CustomLayer != nil:
 		s.layer = cfg.CustomLayer
+		// A custom layer that IS the built-in LS (e.g. recovered via
+		// stl.RecoverDir) re-enables every LS-specific path, journaling
+		// included.
+		if ls, ok := cfg.CustomLayer.(*stl.LS); ok {
+			s.ls = ls
+		}
 	case cfg.LogStructured:
 		s.ls = stl.NewLS(cfg.FrontierStart)
 		s.layer = s.ls
@@ -221,6 +256,10 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 		}
 		s.injector = inj
 		s.dev.SetFaultChecker(inj)
+	}
+	if cfg.Journal != nil {
+		s.wal = cfg.Journal.Log
+		s.ckptEvery = cfg.Journal.CheckpointEvery
 	}
 	s.stats.Config = cfg
 	return s, nil
@@ -270,6 +309,12 @@ func (s *Simulator) RunContext(ctx context.Context, r trace.Reader) (Stats, erro
 			break
 		}
 		s.Step(rec)
+		if s.jerr != nil {
+			// The journal crashed (or broke): the simulated device lost
+			// power. The stats so far describe the pre-crash state the
+			// recovery harness compares against.
+			return s.Stats(), s.jerr
+		}
 	}
 	if err := r.Err(); err != nil {
 		return Stats{}, err
@@ -304,12 +349,17 @@ func (s *Simulator) Stats() Stats {
 		st.Resilience.WriteFaults = c.TransientWrites
 		st.Resilience.MediaFaults = c.MediaErrors
 	}
+	if s.wal != nil {
+		st.Durability.CheckpointAge = s.wal.SinceCheckpoint()
+	}
 	return st
 }
 
-// Step processes one trace record.
+// Step processes one trace record. After a journal crash (JournalErr
+// non-nil) the simulator is inert: the crash froze the state the
+// recovery harness will compare against.
 func (s *Simulator) Step(rec trace.Record) {
-	if rec.Extent.Empty() {
+	if rec.Extent.Empty() || s.jerr != nil {
 		return
 	}
 	switch rec.Kind {
@@ -319,6 +369,7 @@ func (s *Simulator) Step(rec trace.Record) {
 		s.stepWrite(rec)
 	}
 	s.drainMaintenance()
+	s.maybeCheckpoint()
 	s.opIndex++
 }
 
@@ -373,6 +424,14 @@ func (s *Simulator) access(kind disk.OpKind, phys geom.Extent) error {
 
 func (s *Simulator) stepWrite(rec trace.Record) {
 	s.stats.Writes++
+	if s.wal != nil {
+		// Write-ahead: the record is durable before the map mutates. A
+		// failed append drops the op entirely, so the live state stays
+		// exactly what replaying the acknowledged records reconstructs.
+		if !s.journalAppend(journal.RecWrite, rec.Extent, s.ls.Frontier()) {
+			return
+		}
+	}
 	for _, f := range s.layer.Write(rec.Extent) {
 		// Host writes are not rolled back on an unrecovered fault: the
 		// translation already remapped the LBA, mirroring a drive that
@@ -467,6 +526,15 @@ func (s *Simulator) relocate(lba geom.Extent) {
 			if err := s.access(disk.Write, f.PhysExtent()); err != nil {
 				s.stats.Resilience.AbortedRelocations++
 				return // extent map untouched
+			}
+		}
+		if s.wal != nil {
+			// The disk I/O succeeded but the relocation is not committed
+			// until its record is durable; an unjournalable relocation is
+			// aborted like a faulted one.
+			if !s.journalAppend(journal.RecRelocate, lba, s.ls.Frontier()) {
+				s.stats.Resilience.AbortedRelocations++
+				return
 			}
 		}
 		s.layer.Write(lba) // commit; the disk I/O was already played

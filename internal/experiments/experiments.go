@@ -386,6 +386,7 @@ func All(ctx context.Context, w io.Writer, scale float64) error {
 		{"fig11", Fig11},
 		{"waf", WAF},
 		{"timeamp", TimeAmp},
+		{"durability", Durability},
 	}
 	for _, s := range steps {
 		if err := s.fn(ctx, w, scale); err != nil {
@@ -405,22 +406,23 @@ func Run(w io.Writer, name string, scale float64) error {
 // stops the running experiment and returns ctx.Err().
 func RunContext(ctx context.Context, w io.Writer, name string, scale float64) error {
 	fns := map[string]func(context.Context, io.Writer, float64) error{
-		"table1":  Table1,
-		"fig2":    Fig2,
-		"fig3":    Fig3,
-		"fig4":    Fig4,
-		"fig5":    Fig5,
-		"fig7":    Fig7,
-		"fig8":    Fig8,
-		"fig10":   Fig10,
-		"fig11":   Fig11,
-		"waf":     WAF,
-		"timeamp": TimeAmp,
-		"all":     All,
+		"table1":     Table1,
+		"fig2":       Fig2,
+		"fig3":       Fig3,
+		"fig4":       Fig4,
+		"fig5":       Fig5,
+		"fig7":       Fig7,
+		"fig8":       Fig8,
+		"fig10":      Fig10,
+		"fig11":      Fig11,
+		"waf":        WAF,
+		"timeamp":    TimeAmp,
+		"durability": Durability,
+		"all":        All,
 	}
 	fn, ok := fns[name]
 	if !ok {
-		return fmt.Errorf("experiments: unknown experiment %q (want table1, fig2, fig3, fig4, fig5, fig7, fig8, fig10, fig11, waf, timeamp or all)", name)
+		return fmt.Errorf("experiments: unknown experiment %q (want table1, fig2, fig3, fig4, fig5, fig7, fig8, fig10, fig11, waf, timeamp, durability or all)", name)
 	}
 	return fn(ctx, w, scale)
 }

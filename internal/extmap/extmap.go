@@ -50,10 +50,20 @@ type node struct {
 type Map struct {
 	root *node
 	n    int // number of mappings
+	// coalesce, when set, merges mappings that are adjacent in LBA space
+	// and contiguous in PBA space at Insert time, keeping the map minimal.
+	coalesce bool
 }
 
 // New returns an empty extent map.
 func New() *Map { return &Map{} }
+
+// NewCoalesced returns an empty extent map that merges mappings adjacent
+// in both LBA and PBA space on insert, so sequential log writes collapse
+// into one mapping. Layers that attribute mapped extents to fixed-size
+// physical regions (segments, zones) must use New instead: coalescing
+// can fuse mappings across region boundaries.
+func NewCoalesced() *Map { return &Map{coalesce: true} }
 
 // Len returns the number of disjoint mappings (the paper's *static
 // fragmentation* census counts breaks between them; see StaticFragments).
@@ -237,7 +247,38 @@ func (t *Map) Insert(lba geom.Extent, pba geom.Sector) []Mapping {
 		}
 	}
 	t.insertNode(Mapping{Lba: lba, Pba: pba})
+	if t.coalesce {
+		t.coalesceAround(Mapping{Lba: lba, Pba: pba})
+	}
 	return displaced
+}
+
+// coalesceAround merges the just-inserted mapping with its LBA
+// neighbours when they are contiguous in both address spaces. Because
+// mappings are disjoint, only the immediate predecessor and successor
+// can qualify, and both are found with one overlap query widened by a
+// sector on each side.
+func (t *Map) coalesceAround(m Mapping) {
+	lo, hi := m, m
+	for _, nb := range t.overlapping(geom.Ext(m.Lba.Start-1, m.Lba.Count+2)) {
+		if nb.Lba.End() == m.Lba.Start && nb.PhysEnd() == m.Pba {
+			lo = nb
+		}
+		if nb.Lba.Start == m.Lba.End() && m.PhysEnd() == nb.Pba {
+			hi = nb
+		}
+	}
+	if lo == m && hi == m {
+		return
+	}
+	if lo != m {
+		t.deleteStart(lo.Lba.Start)
+	}
+	if hi != m {
+		t.deleteStart(hi.Lba.Start)
+	}
+	t.deleteStart(m.Lba.Start)
+	t.insertNode(Mapping{Lba: geom.Span(lo.Lba.Start, hi.Lba.End()), Pba: lo.Pba})
 }
 
 // Delete removes any mapping of the LBA extent (splitting mappings that
@@ -373,9 +414,13 @@ func (t *Map) StaticFragments(deviceSectors int64) int {
 	return frags
 }
 
-// checkInvariants validates AVL balance and mapping disjointness. It is
-// exported to tests via export_test.go.
-func (t *Map) checkInvariants() error {
+// CheckInvariants validates the map's structural invariants: AVL balance
+// and height bookkeeping, mappings sorted by LBA start, non-empty and
+// non-overlapping, and — for maps built with NewCoalesced — fully
+// coalesced (no two adjacent mappings contiguous in both LBA and PBA
+// space). Recovery and property tests call it after every mutation
+// storm; it is O(n).
+func (t *Map) CheckInvariants() error {
 	var prev *Mapping
 	var walkErr error
 	var check func(n *node) int
@@ -412,6 +457,10 @@ func (t *Map) checkInvariants() error {
 			walkErr = fmt.Errorf("extmap: overlap %v then %v", *prev, m)
 			return false
 		}
+		if t.coalesce && prev != nil && prev.Lba.End() == m.Lba.Start && prev.PhysEnd() == m.Pba {
+			walkErr = fmt.Errorf("extmap: uncoalesced adjacent mappings %v then %v", *prev, m)
+			return false
+		}
 		mm := m
 		prev = &mm
 		return true
@@ -424,3 +473,31 @@ func (t *Map) checkInvariants() error {
 	}
 	return nil
 }
+
+// Diff compares two maps' mapping sequences and returns a description of
+// the first divergence, or "" when they are identical. Recovery tests
+// use it to assert a replayed map is bit-identical to the live one.
+func (t *Map) Diff(o *Map) string {
+	if t.n != o.n {
+		return fmt.Sprintf("mapping counts differ: %d vs %d", t.n, o.n)
+	}
+	var other []Mapping
+	o.Walk(func(m Mapping) bool {
+		other = append(other, m)
+		return true
+	})
+	i := 0
+	diff := ""
+	t.Walk(func(m Mapping) bool {
+		if other[i] != m {
+			diff = fmt.Sprintf("mapping %d differs: %v vs %v", i, m, other[i])
+			return false
+		}
+		i++
+		return true
+	})
+	return diff
+}
+
+// Equal reports whether the two maps hold identical mapping sequences.
+func (t *Map) Equal(o *Map) bool { return t.Diff(o) == "" }

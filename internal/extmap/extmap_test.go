@@ -391,3 +391,120 @@ func TestDisplacedConservationProperty(t *testing.T) {
 		frontier += e.Count
 	}
 }
+
+func TestCoalescedInsertMergesNeighbors(t *testing.T) {
+	m := NewCoalesced()
+	// Sequential log writes: LBA-adjacent and PBA-contiguous — one mapping.
+	m.Insert(geom.Ext(10, 5), 1000)
+	m.Insert(geom.Ext(15, 5), 1005)
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after coalescing", m.Len())
+	}
+	got := m.Lookup(geom.Ext(10, 10))
+	if len(got) != 1 || got[0].Lba != geom.Ext(10, 10) || got[0].Pba != 1000 {
+		t.Fatalf("Lookup = %v", got)
+	}
+	// A gap-filling write merges with BOTH neighbours.
+	m2 := NewCoalesced()
+	m2.Insert(geom.Ext(0, 4), 2000)
+	m2.Insert(geom.Ext(8, 4), 2008)
+	if m2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m2.Len())
+	}
+	m2.Insert(geom.Ext(4, 4), 2004)
+	if m2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after bridging insert", m2.Len())
+	}
+	if err := m2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// LBA-adjacent but physically discontiguous mappings stay separate.
+	m3 := NewCoalesced()
+	m3.Insert(geom.Ext(0, 4), 3000)
+	m3.Insert(geom.Ext(4, 4), 9000)
+	if m3.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 for discontiguous neighbours", m3.Len())
+	}
+	if err := m3.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoalescedAgainstSectorModel replays the randomized sector-model
+// workload against a coalescing map: Lookup results must be unchanged by
+// coalescing, and the coalesced invariant must hold throughout.
+func TestCoalescedAgainstSectorModel(t *testing.T) {
+	const space = 400
+	rng := rand.New(rand.NewSource(11))
+	m := NewCoalesced()
+	model := newSectorModel(space)
+	frontier := int64(space)
+	for step := 0; step < 4000; step++ {
+		e := geom.Ext(int64(rng.Intn(space-30)), int64(1+rng.Intn(30)))
+		if rng.Intn(2) == 0 {
+			m.Insert(e, frontier)
+			model.insert(e, frontier)
+			frontier += e.Count
+		} else {
+			got := m.Lookup(e)
+			want := model.resolve(e)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: Lookup(%v) = %v, want %v", step, e, got, want)
+			}
+			for i := range got {
+				if !resolveEq(got[i], want[i]) {
+					t.Fatalf("step %d: fragment %d = %+v, want %+v", step, i, got[i], want[i])
+				}
+			}
+		}
+		if step%200 == 0 {
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalesceAtSectorZero(t *testing.T) {
+	m := NewCoalesced()
+	m.Insert(geom.Ext(0, 4), 1000) // start-1 == -1 must not trip the neighbour query
+	m.Insert(geom.Ext(4, 4), 1004)
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffAndEqual(t *testing.T) {
+	a, b := New(), New()
+	if !a.Equal(b) {
+		t.Fatal("two empty maps must be equal")
+	}
+	a.Insert(geom.Ext(0, 10), 1000)
+	b.Insert(geom.Ext(0, 10), 1000)
+	if d := a.Diff(b); d != "" {
+		t.Fatalf("identical maps differ: %s", d)
+	}
+	b.Insert(geom.Ext(20, 5), 2000)
+	if a.Equal(b) {
+		t.Fatal("maps with different counts must differ")
+	}
+	a.Insert(geom.Ext(20, 5), 2001) // same shape, different PBA
+	if d := a.Diff(b); d == "" {
+		t.Fatal("maps with different PBAs must differ")
+	}
+	// Same contents built in a different insertion order are equal.
+	c, d := New(), New()
+	c.Insert(geom.Ext(0, 10), 100)
+	c.Insert(geom.Ext(50, 10), 200)
+	d.Insert(geom.Ext(50, 10), 200)
+	d.Insert(geom.Ext(0, 10), 100)
+	if !c.Equal(d) {
+		t.Fatalf("order-independent equality failed: %s", c.Diff(d))
+	}
+}

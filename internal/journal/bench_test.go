@@ -1,0 +1,46 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+
+	"smrseek/internal/geom"
+)
+
+// BenchmarkAppend measures the per-record write-ahead logging cost the
+// simulator pays on every journaled mutation.
+func BenchmarkAppend(b *testing.B) {
+	lg, err := Open(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lg.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := Record{Kind: RecWrite, Lba: geom.Ext(int64(i)%100000, 8), Pba: int64(i) * 8}
+		if err := lg.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadJournal measures replay-side parsing of a 10k-record log.
+func BenchmarkReadJournal(b *testing.B) {
+	var buf bytes.Buffer
+	buf.Write(marshalHeader(1, 0))
+	for i := 0; i < 10000; i++ {
+		buf.Write(MarshalRecord(Record{Kind: RecWrite, Lba: geom.Ext(int64(i), 8), Pba: int64(i) * 8}))
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := ReadJournal(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Records) != 10000 || d.Torn {
+			b.Fatalf("replay parsed %d records, torn=%v", len(d.Records), d.Torn)
+		}
+	}
+}

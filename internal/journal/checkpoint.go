@@ -1,0 +1,174 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"smrseek/internal/extmap"
+	"smrseek/internal/geom"
+)
+
+// Snapshot is the serializable state of a log-structured translation
+// layer at one instant: everything needed to rebuild the layer without
+// replaying any journal records.
+type Snapshot struct {
+	// Generation is the journal generation this snapshot subsumes. A
+	// journal with a generation <= this one predates the snapshot and
+	// must not be replayed over it. Log.Checkpoint fills it in.
+	Generation uint64
+	// Frontier is the write frontier position.
+	Frontier geom.Sector
+	// Written is the total sectors ever appended to the log.
+	Written int64
+	// Mappings are the extent map's mappings in ascending LBA order.
+	Mappings []extmap.Mapping
+}
+
+// Checkpoint on-disk format. All integers are little-endian.
+//
+//	checkpoint := magic(8) generation(8) frontier(8) written(8)
+//	              nMappings(8) mapping* crc32(4)
+//	mapping    := lbaStart(8) lbaCount(8) pba(8)                [24 bytes]
+//
+// The trailing CRC covers every byte after the magic. A checkpoint is
+// written to a temporary file and renamed into place, so readers only
+// ever see a complete file — the CRC guards against the remaining ways
+// a file can rot (bad media, partial rename on non-atomic filesystems).
+const (
+	checkpointMagic = "SMRCKP01"
+	ckptFixedSize   = 8 + 8 + 8 + 8 + 8
+	mappingSize     = 8 + 8 + 8
+	maxCkptMappings = 1 << 28 // preallocation sanity bound (~6 GiB of mappings)
+)
+
+// WriteCheckpoint serializes the snapshot to w.
+func WriteCheckpoint(w io.Writer, snap Snapshot) error {
+	buf := make([]byte, ckptFixedSize+mappingSize*len(snap.Mappings)+4)
+	copy(buf[0:8], checkpointMagic)
+	binary.LittleEndian.PutUint64(buf[8:16], snap.Generation)
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(snap.Frontier))
+	binary.LittleEndian.PutUint64(buf[24:32], uint64(snap.Written))
+	binary.LittleEndian.PutUint64(buf[32:40], uint64(len(snap.Mappings)))
+	off := ckptFixedSize
+	for _, m := range snap.Mappings {
+		binary.LittleEndian.PutUint64(buf[off:off+8], uint64(m.Lba.Start))
+		binary.LittleEndian.PutUint64(buf[off+8:off+16], uint64(m.Lba.Count))
+		binary.LittleEndian.PutUint64(buf[off+16:off+24], uint64(m.Pba))
+		off += mappingSize
+	}
+	binary.LittleEndian.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[8:off]))
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadCheckpoint parses a checkpoint stream. Unlike the journal, a
+// checkpoint is all-or-nothing: any damage is an error, never a partial
+// result, because the rename protocol means a visible checkpoint was
+// written completely.
+func ReadCheckpoint(r io.Reader) (Snapshot, error) {
+	var snap Snapshot
+	fixed := make([]byte, ckptFixedSize)
+	if _, err := io.ReadFull(r, fixed); err != nil {
+		return snap, fmt.Errorf("journal: reading checkpoint header: %w", err)
+	}
+	if string(fixed[0:8]) != checkpointMagic {
+		return snap, fmt.Errorf("journal: bad checkpoint magic %q", fixed[0:8])
+	}
+	n := binary.LittleEndian.Uint64(fixed[32:40])
+	if n > maxCkptMappings {
+		return snap, fmt.Errorf("journal: implausible checkpoint mapping count %d", n)
+	}
+	rest := make([]byte, int(n)*mappingSize+4)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return snap, fmt.Errorf("journal: reading checkpoint body: %w", err)
+	}
+	crc := crc32.ChecksumIEEE(fixed[8:])
+	crc = crc32.Update(crc, crc32.IEEETable, rest[:len(rest)-4])
+	if crc != binary.LittleEndian.Uint32(rest[len(rest)-4:]) {
+		return snap, fmt.Errorf("journal: checkpoint checksum mismatch")
+	}
+	snap.Generation = binary.LittleEndian.Uint64(fixed[8:16])
+	snap.Frontier = int64(binary.LittleEndian.Uint64(fixed[16:24]))
+	snap.Written = int64(binary.LittleEndian.Uint64(fixed[24:32]))
+	if snap.Frontier < 0 || snap.Written < 0 {
+		return snap, fmt.Errorf("journal: negative checkpoint counters (frontier=%d written=%d)",
+			snap.Frontier, snap.Written)
+	}
+	snap.Mappings = make([]extmap.Mapping, n)
+	var prevEnd geom.Sector
+	for i := range snap.Mappings {
+		off := i * mappingSize
+		m := extmap.Mapping{
+			Lba: geom.Extent{
+				Start: int64(binary.LittleEndian.Uint64(rest[off : off+8])),
+				Count: int64(binary.LittleEndian.Uint64(rest[off+8 : off+16])),
+			},
+			Pba: int64(binary.LittleEndian.Uint64(rest[off+16 : off+24])),
+		}
+		if m.Lba.Start < 0 || m.Lba.Count <= 0 || m.Pba < 0 || m.Lba.Start < prevEnd {
+			return snap, fmt.Errorf("journal: checkpoint mapping %d invalid or out of order: %v", i, m)
+		}
+		prevEnd = m.Lba.End()
+		snap.Mappings[i] = m
+	}
+	return snap, nil
+}
+
+// readCheckpointFile loads a checkpoint file. A missing file returns
+// (nil, nil): no checkpoint yet is a normal state, damage is not.
+func readCheckpointFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snap, err := ReadCheckpoint(f)
+	if err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// LoadDir reads the checkpoint/journal pair from a journal directory,
+// as left by a crash (or a clean shutdown): the checkpoint if present,
+// and the journal's parsed records — already filtered by the generation
+// rule, so d.Records is exactly the sequence to replay on top of the
+// snapshot. Either file may be absent; both absent is an error.
+func LoadDir(dir string) (*Snapshot, Data, error) {
+	snap, err := readCheckpointFile(CheckpointPath(dir))
+	if err != nil {
+		return nil, Data{}, err
+	}
+	raw, err := os.ReadFile(JournalPath(dir))
+	if errors.Is(err, os.ErrNotExist) {
+		if snap == nil {
+			return nil, Data{}, fmt.Errorf("journal: %s has neither checkpoint nor journal", dir)
+		}
+		return snap, Data{Generation: snap.Generation}, nil
+	}
+	if err != nil {
+		return nil, Data{}, err
+	}
+	d, err := ReadJournal(newByteReader(raw))
+	if err != nil {
+		if snap == nil {
+			return nil, Data{}, err
+		}
+		// A corrupt journal header alongside a valid checkpoint: the
+		// checkpoint is the durable truth; treat the journal as torn.
+		return snap, Data{Generation: snap.Generation, Torn: true}, nil
+	}
+	if snap != nil && d.Generation <= snap.Generation {
+		// Stale journal from before the checkpoint (crash between the
+		// checkpoint rename and the journal truncation): do not replay.
+		d.Records, d.Torn = nil, false
+	}
+	return snap, d, nil
+}

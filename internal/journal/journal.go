@@ -1,0 +1,469 @@
+// Package journal provides the crash-consistency machinery for the
+// simulator's log-structured translation layer: a write-ahead log of
+// every extent-map mutation plus periodic checkpoints of the full map,
+// mirroring how real drive-managed SMR firmware (SMORE, and the
+// log-structured stores it descends from) persists its layout metadata.
+//
+// The journal is an append-only file of CRC32-guarded, length-prefixed
+// records. Each record describes one STL mutation — a host write, a
+// defrag relocation, or an explicit frontier move — with enough
+// information to replay it deterministically. A checkpoint serializes
+// the entire extent map, frontier and written-sector counter; writing
+// one truncates the journal, bounding replay time.
+//
+// Torn writes are a first-class concern: a crash can leave a partial
+// record at the journal tail, and recovery must detect it (short frame
+// or CRC mismatch), discard it, and stop cleanly — the write-ahead
+// discipline guarantees the in-memory state never ran ahead of an
+// acknowledged append, so a discarded torn record was never applied.
+//
+// Generations make the checkpoint-then-truncate pair atomic without a
+// second fsync barrier: the journal header carries a generation number,
+// a checkpoint records the generation it subsumes, and the journal is
+// reborn with the next generation after each checkpoint. Recovery
+// replays the journal only when its generation is newer than the
+// checkpoint's, so a crash BETWEEN checkpoint rename and journal
+// truncation cannot double-apply records.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"smrseek/internal/geom"
+)
+
+// RecordKind classifies a journaled STL mutation.
+type RecordKind uint8
+
+const (
+	// RecWrite is a host write: Lba was mapped to Pba (the frontier at
+	// append time), advancing the frontier by Lba.Count.
+	RecWrite RecordKind = iota + 1
+	// RecRelocate is a defrag write-back: same replay semantics as
+	// RecWrite, kept distinct so recovery statistics can tell host
+	// traffic from maintenance traffic.
+	RecRelocate
+	// RecFrontier is an explicit frontier move: the frontier becomes Pba
+	// and the extent is ignored.
+	RecFrontier
+)
+
+// String names the kind.
+func (k RecordKind) String() string {
+	switch k {
+	case RecWrite:
+		return "write"
+	case RecRelocate:
+		return "relocate"
+	case RecFrontier:
+		return "frontier"
+	}
+	return "unknown"
+}
+
+// Record is one journaled STL mutation.
+type Record struct {
+	Kind RecordKind
+	Lba  geom.Extent
+	Pba  geom.Sector
+}
+
+// Valid reports whether the record's fields are replayable: a known
+// kind, non-negative addresses, a positive extent for write kinds, and
+// no address-space overflow. A CRC-valid frame with invalid fields is
+// corruption and stops replay just like a torn tail.
+func (r Record) Valid() bool {
+	switch r.Kind {
+	case RecWrite, RecRelocate:
+		return r.Lba.Start >= 0 && r.Lba.Count > 0 && r.Pba >= 0 &&
+			r.Lba.Start <= math.MaxInt64-r.Lba.Count &&
+			r.Pba <= math.MaxInt64-r.Lba.Count
+	case RecFrontier:
+		return r.Pba >= 0
+	}
+	return false
+}
+
+// On-disk framing. All integers are little-endian.
+//
+//	journal   := header record*
+//	header    := magic(8) generation(8) frontier(8) crc32(4)   [28 bytes]
+//	record    := length(4) payload crc32(4)
+//	payload   := kind(1) lbaStart(8) lbaCount(8) pba(8)        [25 bytes]
+//
+// The header CRC covers generation and frontier; a record CRC covers its
+// payload. The length field counts payload bytes only.
+const (
+	journalMagic  = "SMRWAL01"
+	headerSize    = 8 + 8 + 8 + 4
+	payloadSize   = 1 + 8 + 8 + 8
+	frameSize     = 4 + payloadSize + 4
+	maxPayloadLen = 1 << 20 // sanity bound: larger lengths mean a torn/corrupt frame
+)
+
+// ErrCrashed is returned by Append and Checkpoint after an injected
+// crash point has fired: the log behaves like a device that lost power.
+var ErrCrashed = errors.New("journal: crashed (injected crash point)")
+
+// MarshalRecord encodes a record as one framed journal entry.
+func MarshalRecord(r Record) []byte {
+	buf := make([]byte, frameSize)
+	binary.LittleEndian.PutUint32(buf[0:4], payloadSize)
+	p := buf[4 : 4+payloadSize]
+	p[0] = byte(r.Kind)
+	binary.LittleEndian.PutUint64(p[1:9], uint64(r.Lba.Start))
+	binary.LittleEndian.PutUint64(p[9:17], uint64(r.Lba.Count))
+	binary.LittleEndian.PutUint64(p[17:25], uint64(r.Pba))
+	binary.LittleEndian.PutUint32(buf[4+payloadSize:], crc32.ChecksumIEEE(p))
+	return buf
+}
+
+// unmarshalPayload decodes a CRC-validated payload. ok is false when the
+// payload length or field values are not replayable.
+func unmarshalPayload(p []byte) (Record, bool) {
+	if len(p) != payloadSize {
+		return Record{}, false
+	}
+	r := Record{
+		Kind: RecordKind(p[0]),
+		Lba: geom.Extent{
+			Start: int64(binary.LittleEndian.Uint64(p[1:9])),
+			Count: int64(binary.LittleEndian.Uint64(p[9:17])),
+		},
+		Pba: int64(binary.LittleEndian.Uint64(p[17:25])),
+	}
+	return r, r.Valid()
+}
+
+// marshalHeader encodes the journal file header.
+func marshalHeader(generation uint64, frontier geom.Sector) []byte {
+	buf := make([]byte, headerSize)
+	copy(buf[0:8], journalMagic)
+	binary.LittleEndian.PutUint64(buf[8:16], generation)
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(frontier))
+	binary.LittleEndian.PutUint32(buf[24:28], crc32.ChecksumIEEE(buf[8:24]))
+	return buf
+}
+
+func unmarshalHeader(buf []byte) (generation uint64, frontier geom.Sector, err error) {
+	if len(buf) < headerSize {
+		return 0, 0, fmt.Errorf("journal: short header (%d bytes)", len(buf))
+	}
+	if string(buf[0:8]) != journalMagic {
+		return 0, 0, fmt.Errorf("journal: bad magic %q", buf[0:8])
+	}
+	if crc32.ChecksumIEEE(buf[8:24]) != binary.LittleEndian.Uint32(buf[24:28]) {
+		return 0, 0, fmt.Errorf("journal: header checksum mismatch")
+	}
+	generation = binary.LittleEndian.Uint64(buf[8:16])
+	frontier = int64(binary.LittleEndian.Uint64(buf[16:24]))
+	if frontier < 0 {
+		return 0, 0, fmt.Errorf("journal: negative header frontier %d", frontier)
+	}
+	return generation, frontier, nil
+}
+
+// Data is the parsed content of one journal stream.
+type Data struct {
+	// Generation is the journal's generation number; records apply only
+	// when it exceeds the checkpoint's generation.
+	Generation uint64
+	// InitFrontier is the frontier position recorded at journal birth,
+	// used when no checkpoint is available.
+	InitFrontier geom.Sector
+	// Records are the complete, CRC-valid records in append order.
+	Records []Record
+	// Torn reports that the stream ended in a torn or corrupt record,
+	// which was discarded. Everything in Records precedes it.
+	Torn bool
+}
+
+// ReadJournal parses a journal stream, stopping cleanly at a torn or
+// corrupt tail. A missing or corrupt HEADER is an error (the header is
+// written whole at journal birth and never rewritten, so damage there is
+// not a torn append); anything wrong after the header marks Torn.
+func ReadJournal(r io.Reader) (Data, error) {
+	var d Data
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return d, fmt.Errorf("journal: reading header: %w", err)
+	}
+	gen, frontier, err := unmarshalHeader(hdr)
+	if err != nil {
+		return d, err
+	}
+	d.Generation, d.InitFrontier = gen, frontier
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				return d, nil // clean end of journal
+			}
+			d.Torn = true // partial length prefix
+			return d, nil
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxPayloadLen {
+			d.Torn = true // implausible length: torn or corrupt frame
+			return d, nil
+		}
+		frame := make([]byte, int(n)+4)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			d.Torn = true // partial payload or CRC
+			return d, nil
+		}
+		payload, sum := frame[:n], binary.LittleEndian.Uint32(frame[n:])
+		if crc32.ChecksumIEEE(payload) != sum {
+			d.Torn = true
+			return d, nil
+		}
+		rec, ok := unmarshalPayload(payload)
+		if !ok {
+			d.Torn = true // CRC-valid but not replayable: corrupt tail
+			return d, nil
+		}
+		d.Records = append(d.Records, rec)
+	}
+}
+
+// File names inside a journal directory.
+const (
+	// JournalFile is the append-only write-ahead log.
+	JournalFile = "journal.wal"
+	// CheckpointFile is the most recent complete checkpoint.
+	CheckpointFile = "checkpoint.ckpt"
+	// checkpointTmp is the staging name; a checkpoint becomes visible
+	// only via rename, so a crash mid-checkpoint leaves the old one.
+	checkpointTmp = "checkpoint.tmp"
+)
+
+// JournalPath returns the journal file path inside dir.
+func JournalPath(dir string) string { return filepath.Join(dir, JournalFile) }
+
+// CheckpointPath returns the checkpoint file path inside dir.
+func CheckpointPath(dir string) string { return filepath.Join(dir, CheckpointFile) }
+
+// Failer injects append failures, modelling a faulty journal device. It
+// is consulted before any bytes are written; a non-nil error fails the
+// append with nothing persisted, so the caller may retry (transient
+// faults) or give up. seq is the 1-based sequence number the append
+// would get.
+type Failer func(seq int64, rec Record) error
+
+// Log is an open journal directory: the write-ahead log file plus the
+// checkpoint alongside it. It is not safe for concurrent use; each
+// simulator owns one.
+type Log struct {
+	dir string
+	f   *os.File
+
+	generation uint64
+	appends    int64 // acknowledged appends by this process
+	sinceCkpt  int64 // records in the journal file since its header
+	ckpts      int64 // checkpoints written by this process
+
+	failer     Failer
+	crashAfter int64 // 1-based append seq that crashes; 0 = never
+	tornBytes  int
+	crashed    bool
+}
+
+// Open opens (or creates) the journal in dir, creating the directory as
+// needed. A fresh journal is born with initFrontier in its header and a
+// generation one past the checkpoint's (or 1). An existing journal is
+// opened for append; its records are scanned to validate the file and
+// recount the checkpoint age. An existing torn tail is rejected —
+// recover first, checkpoint, and the reborn journal is clean.
+func Open(dir string, initFrontier geom.Sector) (*Log, error) {
+	if initFrontier < 0 {
+		return nil, fmt.Errorf("journal: negative initial frontier %d", initFrontier)
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir}
+	path := JournalPath(dir)
+	if data, err := os.ReadFile(path); err == nil {
+		d, err := ReadJournal(newByteReader(data))
+		if err != nil {
+			return nil, err
+		}
+		if d.Torn {
+			return nil, fmt.Errorf("journal: %s has a torn tail; recover before appending", path)
+		}
+		l.generation = d.Generation
+		l.sinceCkpt = int64(len(d.Records))
+		l.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
+		if err != nil {
+			return nil, err
+		}
+		return l, nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	gen := uint64(1)
+	if snap, err := readCheckpointFile(CheckpointPath(dir)); err == nil && snap != nil {
+		gen = snap.Generation + 1
+	} else if err != nil {
+		return nil, fmt.Errorf("journal: existing checkpoint unreadable: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(marshalHeader(gen, initFrontier)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.generation, l.f = gen, f
+	return l, nil
+}
+
+// Dir returns the journal directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Generation returns the journal's current generation number.
+func (l *Log) Generation() uint64 { return l.generation }
+
+// Appends returns the appends acknowledged by this process.
+func (l *Log) Appends() int64 { return l.appends }
+
+// SinceCheckpoint returns the records in the journal file beyond the
+// last checkpoint — the replay work a crash right now would cost.
+func (l *Log) SinceCheckpoint() int64 { return l.sinceCkpt }
+
+// Checkpoints returns the checkpoints written by this process.
+func (l *Log) Checkpoints() int64 { return l.ckpts }
+
+// Crashed reports whether an injected crash point has fired.
+func (l *Log) Crashed() bool { return l.crashed }
+
+// SetFailer installs an append fault hook (nil clears it).
+func (l *Log) SetFailer(f Failer) { l.failer = f }
+
+// CrashAfter arms a crash point: append number n (1-based) persists only
+// tornBytes bytes of its frame — a torn write — and fails with
+// ErrCrashed; the log is dead thereafter. tornBytes is clamped to the
+// frame size minus one so the torn record is never replayable, and to
+// zero from below.
+func (l *Log) CrashAfter(n int64, tornBytes int) {
+	l.crashAfter, l.tornBytes = n, tornBytes
+}
+
+// Append write-ahead-logs one record. The caller must apply the
+// mutation only after Append returns nil: a failed append persisted
+// either nothing (failer fault) or an unreplayable torn prefix (crash).
+func (l *Log) Append(rec Record) error {
+	if l.crashed {
+		return ErrCrashed
+	}
+	if !rec.Valid() {
+		return fmt.Errorf("journal: unreplayable record %+v", rec)
+	}
+	seq := l.appends + 1
+	if l.failer != nil {
+		if err := l.failer(seq, rec); err != nil {
+			return err
+		}
+	}
+	frame := MarshalRecord(rec)
+	if l.crashAfter > 0 && seq >= l.crashAfter {
+		torn := l.tornBytes
+		if torn < 0 {
+			torn = 0
+		}
+		if torn >= len(frame) {
+			torn = len(frame) - 1
+		}
+		if torn > 0 {
+			if _, err := l.f.Write(frame[:torn]); err != nil {
+				return err
+			}
+		}
+		l.crashed = true
+		return ErrCrashed
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return err
+	}
+	l.appends++
+	l.sinceCkpt++
+	return nil
+}
+
+// Checkpoint atomically persists the snapshot and truncates the
+// journal. The snapshot is staged to a temporary file, synced, and
+// renamed over the checkpoint; only then is the journal reborn empty
+// with the next generation. A crash anywhere in between leaves a
+// recoverable pair (see the package comment on generations).
+func (l *Log) Checkpoint(snap Snapshot) error {
+	if l.crashed {
+		return ErrCrashed
+	}
+	snap.Generation = l.generation
+	tmp := filepath.Join(l.dir, checkpointTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return err
+	}
+	if err := WriteCheckpoint(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, CheckpointPath(l.dir)); err != nil {
+		return err
+	}
+	// The checkpoint is durable; rebirth the journal under the next
+	// generation. Stale records left by a crash before this point are
+	// skipped at recovery because their generation is now old.
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.generation++
+	if _, err := l.f.Write(marshalHeader(l.generation, snap.Frontier)); err != nil {
+		return err
+	}
+	l.sinceCkpt = 0
+	l.ckpts++
+	return nil
+}
+
+// Sync flushes the journal file to stable storage.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Close closes the journal file. The log is unusable afterwards.
+func (l *Log) Close() error { return l.f.Close() }
+
+// newByteReader avoids importing bytes just for one reader.
+type byteReader struct {
+	b []byte
+	i int
+}
+
+func newByteReader(b []byte) *byteReader { return &byteReader{b: b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}

@@ -84,6 +84,37 @@ func (r Resilience) RecoveryRate() float64 {
 	return float64(r.Recoveries) / float64(hit)
 }
 
+// Durability tallies the write-ahead-journal and recovery behaviour of
+// one simulation run: how much was logged and checkpointed, whether an
+// (injected) crash cut the run short, and — after stl.Recover — what
+// replay found on disk.
+type Durability struct {
+	// JournalAppends is the number of records acknowledged by the log.
+	JournalAppends int64
+	// AppendRetries counts re-attempts spent on transient journal-device
+	// faults before an append was acknowledged or abandoned.
+	AppendRetries int64
+	// AppendFailures counts appends abandoned after exhausting retries.
+	AppendFailures int64
+	// Checkpoints is the number of checkpoints written during the run.
+	Checkpoints int64
+	// CheckpointAge is the journal's record count past the last
+	// checkpoint when the run ended — the replay a crash would cost.
+	CheckpointAge int64
+	// Crashed reports that an injected crash point stopped the run.
+	Crashed bool
+
+	// Recovery-side counters, filled in after stl.Recover.
+	Recovered       bool  // a recovery was performed
+	RecordsReplayed int64 // complete journal records applied
+	ReplayedSectors int64 // sectors those records appended
+	TornTail        bool  // the journal ended in a torn/corrupt record
+	FromCheckpoint  bool  // a checkpoint seeded the recovered state
+}
+
+// Any reports whether any journal activity was recorded.
+func (d Durability) Any() bool { return d != (Durability{}) }
+
 // CDF is an empirical cumulative distribution over float64 samples.
 type CDF struct {
 	samples []float64

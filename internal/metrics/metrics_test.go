@@ -254,3 +254,14 @@ func TestResilience(t *testing.T) {
 		t.Errorf("RecoveryRate = %v, want %v", got, want)
 	}
 }
+
+func TestDurabilityAny(t *testing.T) {
+	var d Durability
+	if d.Any() {
+		t.Error("zero Durability reports activity")
+	}
+	d.JournalAppends = 1
+	if !d.Any() {
+		t.Error("non-zero Durability reports no activity")
+	}
+}

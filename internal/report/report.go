@@ -173,6 +173,26 @@ func ResilienceTable(r metrics.Resilience) *Table {
 	return tb
 }
 
+// DurabilityTable renders the write-ahead-journal and recovery tallies
+// of one run, shown next to the resilience table so fault and
+// durability behaviour read side by side.
+func DurabilityTable(d metrics.Durability) *Table {
+	tb := NewTable("write-ahead journal & recovery", "metric", "value")
+	tb.AddRow("journal appends", HumanCount(d.JournalAppends))
+	tb.AddRow("append retries", HumanCount(d.AppendRetries))
+	tb.AddRow("append failures", HumanCount(d.AppendFailures))
+	tb.AddRow("checkpoints", HumanCount(d.Checkpoints))
+	tb.AddRow("checkpoint age (records)", HumanCount(d.CheckpointAge))
+	tb.AddRow("crashed", fmt.Sprintf("%v", d.Crashed))
+	if d.Recovered {
+		tb.AddRow("records replayed", HumanCount(d.RecordsReplayed))
+		tb.AddRow("sectors replayed", HumanCount(d.ReplayedSectors))
+		tb.AddRow("torn tail detected", fmt.Sprintf("%v", d.TornTail))
+		tb.AddRow("recovered from checkpoint", fmt.Sprintf("%v", d.FromCheckpoint))
+	}
+	return tb
+}
+
 // HumanBytes formats a byte count with binary units.
 func HumanBytes(n int64) string {
 	const unit = 1024

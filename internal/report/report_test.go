@@ -149,3 +149,43 @@ func TestResilienceTable(t *testing.T) {
 		t.Error("two renders of the same tallies differ")
 	}
 }
+
+func TestDurabilityTable(t *testing.T) {
+	d := metrics.Durability{
+		JournalAppends: 12000,
+		AppendRetries:  40,
+		Checkpoints:    12,
+		CheckpointAge:  345,
+		Crashed:        true,
+	}
+	var buf bytes.Buffer
+	if err := DurabilityTable(d).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"write-ahead journal & recovery",
+		"journal appends", "12,000",
+		"checkpoint age (records)", "345",
+		"crashed", "true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "records replayed") {
+		t.Error("recovery rows shown for a run that never recovered")
+	}
+	d.Recovered = true
+	d.RecordsReplayed = 345
+	d.TornTail = true
+	buf.Reset()
+	if err := DurabilityTable(d).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"records replayed", "torn tail detected", "recovered from checkpoint"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("recovery table missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package stl
+
+import (
+	"fmt"
+
+	"smrseek/internal/extmap"
+	"smrseek/internal/journal"
+)
+
+// Snapshot captures the layer's durable state — extent map, frontier,
+// written-sector counter — as a checkpoint snapshot. The mapping slice
+// is a copy; the live map is untouched.
+func (l *LS) Snapshot() journal.Snapshot {
+	ms := make([]extmap.Mapping, 0, l.m.Len())
+	l.m.Walk(func(m extmap.Mapping) bool {
+		ms = append(ms, m)
+		return true
+	})
+	return journal.Snapshot{Frontier: l.frontier, Written: l.written, Mappings: ms}
+}
+
+// ReplayStats describes what recovery found and did.
+type ReplayStats struct {
+	// FromCheckpoint reports that a checkpoint seeded the state.
+	FromCheckpoint bool
+	// Replayed is the number of complete journal records applied on top
+	// of the checkpoint (or the journal's initial state).
+	Replayed int64
+	// ReplayedSectors is the sectors those records appended to the log.
+	ReplayedSectors int64
+	// TornTail reports that the journal ended in a torn or corrupt
+	// record, which was discarded — the expected signature of a crash
+	// mid-append.
+	TornTail bool
+	// Generation is the journal generation recovery ended on.
+	Generation uint64
+}
+
+// Recover rebuilds a log-structured layer from a checkpoint snapshot
+// (may be nil: journal-only recovery) and a parsed journal. Records are
+// replayed in order through the same insert path live writes take, so
+// the recovered extent map, frontier and written-sector counter are
+// bit-identical to the layer that produced them.
+//
+// The write-ahead discipline makes this exact: a mutation is applied
+// only after its record is acknowledged, so the live state at crash
+// time is precisely the state after replaying every complete record —
+// the torn tail, if any, was never applied.
+func Recover(snap *journal.Snapshot, d journal.Data) (*LS, ReplayStats, error) {
+	var st ReplayStats
+	l := &LS{m: extmap.NewCoalesced()}
+	if snap != nil {
+		st.FromCheckpoint = true
+		l.frontier = snap.Frontier
+		l.written = snap.Written
+		for _, m := range snap.Mappings {
+			l.m.Insert(m.Lba, m.Pba)
+		}
+	} else {
+		l.frontier = d.InitFrontier
+	}
+	st.TornTail = d.Torn
+	st.Generation = d.Generation
+	for i, rec := range d.Records {
+		switch rec.Kind {
+		case journal.RecWrite, journal.RecRelocate:
+			// The record's placement must be the replay frontier: LS
+			// appends at the frontier and journals before mutating, so a
+			// divergence means the journal does not belong to this
+			// checkpoint (or the pair was tampered with) — refuse rather
+			// than build a plausible-but-wrong map.
+			if rec.Pba != l.frontier {
+				return nil, st, fmt.Errorf(
+					"stl: record %d places %v at pba %d but the replay frontier is %d (checkpoint/journal mismatch?)",
+					i, rec.Lba, rec.Pba, l.frontier)
+			}
+			l.m.Insert(rec.Lba, rec.Pba)
+			l.frontier += rec.Lba.Count
+			l.written += rec.Lba.Count
+			st.ReplayedSectors += rec.Lba.Count
+		case journal.RecFrontier:
+			l.frontier = rec.Pba
+		default:
+			return nil, st, fmt.Errorf("stl: record %d has unknown kind %d", i, rec.Kind)
+		}
+		st.Replayed++
+	}
+	if err := l.m.CheckInvariants(); err != nil {
+		return nil, st, fmt.Errorf("stl: recovered map is corrupt: %w", err)
+	}
+	return l, st, nil
+}
+
+// RecoverDir recovers from a journal directory as left by a crash: the
+// checkpoint (if any) plus the journal replayed on top, honouring the
+// generation rule that discards a stale journal.
+func RecoverDir(dir string) (*LS, ReplayStats, error) {
+	snap, d, err := journal.LoadDir(dir)
+	if err != nil {
+		return nil, ReplayStats{}, err
+	}
+	return Recover(snap, d)
+}

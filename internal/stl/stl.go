@@ -89,9 +89,12 @@ type LS struct {
 }
 
 // NewLS returns a log-structured layer whose write frontier starts at
-// frontierStart (typically the device size or trace MaxLBA).
+// frontierStart (typically the device size or trace MaxLBA). The map
+// coalesces mappings contiguous in both address spaces, so sequential
+// frontier writes stay one mapping — and so checkpoints of long
+// sequential workloads stay small.
 func NewLS(frontierStart geom.Sector) *LS {
-	return &LS{m: extmap.New(), frontier: frontierStart}
+	return &LS{m: extmap.NewCoalesced(), frontier: frontierStart}
 }
 
 // Resolve implements Layer.

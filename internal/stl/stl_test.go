@@ -92,6 +92,15 @@ func TestLSFragmentationScenario(t *testing.T) {
 	if got := l2.Resolve(geom.Ext(10, 8)); len(got) != 1 {
 		t.Errorf("sequential writes resolved to %v", got)
 	}
+	// The coalesced map stores them as a single mapping too.
+	if l2.Map().Len() != 1 {
+		t.Errorf("sequential writes stored as %d mappings, want 1", l2.Map().Len())
+	}
+	for _, layer := range []*LS{l, l2} {
+		if err := layer.Map().CheckInvariants(); err != nil {
+			t.Error(err)
+		}
+	}
 }
 
 func TestFragmentPhysExtent(t *testing.T) {
@@ -123,6 +132,10 @@ func TestLSResolveTilesProperty(t *testing.T) {
 		}
 		head := l.Frontier()
 		w := l.Write(q)
+		if err := l.Map().CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
 		return len(w) == 1 && w[0].Pba == head && len(l.Resolve(q)) == 1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

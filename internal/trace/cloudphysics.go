@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -96,6 +97,9 @@ func parseCPLine(line string) (Record, error) {
 	}
 	if lba < 0 || n < 0 {
 		return Record{}, fmt.Errorf("negative lba/sectors (%d/%d)", lba, n)
+	}
+	if n > 0 && lba > math.MaxInt64-n {
+		return Record{}, fmt.Errorf("extent %d+%d overflows", lba, n)
 	}
 	return Record{Time: ts, Kind: kind, Extent: geom.Ext(lba, n)}, nil
 }

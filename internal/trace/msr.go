@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -107,6 +108,12 @@ func (m *MSRReader) parseLine(line string) (Record, bool, error) {
 	}
 	if offset < 0 || size < 0 {
 		return Record{}, false, fmt.Errorf("negative offset/size (%d/%d)", offset, size)
+	}
+	// Rounding the range outward computes offset+size+(SectorSize-1);
+	// reject ranges where that sum would wrap around int64.
+	if size > math.MaxInt64-(geom.SectorSize-1) ||
+		offset > math.MaxInt64-(geom.SectorSize-1)-size {
+		return Record{}, false, fmt.Errorf("byte range %d+%d overflows", offset, size)
 	}
 	ext := byteRangeToExtent(offset, size)
 	if ext.Empty() {

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Regenerate the benchmark baseline, or compare a fresh run against it.
+#
+#   scripts/bench.sh            # rewrite BENCH_baseline.json
+#   scripts/bench.sh compare    # run benchmarks, diff against the baseline
+#
+# Run from the repo root. The experiment benchmarks self-scale (see
+# -benchscale in bench_test.go), so a full run takes a few minutes; the
+# baseline tracks trajectory across PRs, not absolute precision.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_baseline.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run='^$' -bench=. -benchmem -timeout 30m ./... |
+	go run ./scripts/benchjson >"$tmp"
+
+case "${1:-}" in
+compare)
+	go run ./scripts/benchjson -compare "$out" "$tmp"
+	;;
+"")
+	mv "$tmp" "$out"
+	trap - EXIT
+	echo "wrote $out"
+	;;
+*)
+	echo "usage: scripts/bench.sh [compare]" >&2
+	exit 2
+	;;
+esac

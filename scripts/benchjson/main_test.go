@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: smrseek/internal/extmap
+cpu: whatever
+BenchmarkInsert-8   	  123456	      98.5 ns/op	      24 B/op	       1 allocs/op
+BenchmarkLookup-8   	  999999	      12.0 ns/op
+BenchmarkSubName
+PASS
+ok  	smrseek/internal/extmap	1.234s
+pkg: smrseek/internal/disk
+BenchmarkSeekTime-8 	     500	   2000 ns/op
+`
+
+func TestParse(t *testing.T) {
+	b, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Goos != "linux" || b.Goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", b.Goos, b.Goarch)
+	}
+	if len(b.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(b.Benchmarks), b.Benchmarks)
+	}
+	// Sorted by pkg then name: disk first.
+	first := b.Benchmarks[0]
+	if first.Pkg != "smrseek/internal/disk" || first.Name != "BenchmarkSeekTime-8" || first.NsPerOp != 2000 {
+		t.Errorf("first = %+v", first)
+	}
+	ins := b.Benchmarks[1]
+	if ins.Name != "BenchmarkInsert-8" || ins.Iterations != 123456 ||
+		ins.NsPerOp != 98.5 || ins.BytesPerOp != 24 || ins.AllocsPerOp != 1 {
+		t.Errorf("insert = %+v", ins)
+	}
+}
+
+func TestParseRejectsGarbageNumbers(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkX-8  zzz  1.0 ns/op\n"))
+	if err == nil {
+		t.Error("bad iteration count accepted")
+	}
+}
+
+func TestFormatCompare(t *testing.T) {
+	oldB := Baseline{Benchmarks: []Result{
+		{Pkg: "p", Name: "BenchmarkA-8", NsPerOp: 100},
+		{Pkg: "p", Name: "BenchmarkGone-8", NsPerOp: 5},
+	}}
+	newB := Baseline{Benchmarks: []Result{
+		{Pkg: "p", Name: "BenchmarkA-8", NsPerOp: 150},
+		{Pkg: "p", Name: "BenchmarkNew-8", NsPerOp: 7},
+	}}
+	out := FormatCompare(oldB, newB)
+	for _, want := range []string{"+50.0%", "(gone", "(new)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}

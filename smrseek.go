@@ -30,6 +30,7 @@ import (
 	"smrseek/internal/experiments"
 	"smrseek/internal/fault"
 	"smrseek/internal/geom"
+	"smrseek/internal/journal"
 	"smrseek/internal/metrics"
 	"smrseek/internal/stl"
 	"smrseek/internal/trace"
@@ -67,6 +68,21 @@ type (
 	// Resilience tallies injected faults and recovery outcomes for a run
 	// (Stats.Resilience).
 	Resilience = metrics.Resilience
+
+	// JournalConfig attaches a write-ahead journal to a run; set it on
+	// Config.Journal to make the translation state durable.
+	JournalConfig = core.JournalConfig
+	// Journal is the append-only write-ahead log with checkpoints that
+	// persists translation state (see OpenJournal).
+	Journal = journal.Log
+	// Durability tallies journal appends, checkpoints and recovery
+	// outcomes for a journaled run (Stats.Durability).
+	Durability = metrics.Durability
+	// ReplayStats summarizes what Recover replayed from the journal.
+	ReplayStats = stl.ReplayStats
+	// LS is the log-structured translation layer; Recover returns one,
+	// and Config.CustomLayer accepts it to resume a recovered run.
+	LS = stl.LS
 
 	// Record is one block I/O operation.
 	Record = trace.Record
@@ -149,6 +165,19 @@ func ComparePaperContext(ctx context.Context, recs []Record) (Comparison, error)
 
 // PaperVariants returns the four Figure 11 configurations.
 func PaperVariants() []Config { return core.PaperVariants() }
+
+// OpenJournal opens (or creates) the write-ahead journal pair in dir.
+// initFrontier seeds a fresh journal's starting PBA; an existing
+// journal keeps its own. Attach the result via Config.Journal.
+func OpenJournal(dir string, initFrontier int64) (*Journal, error) {
+	return journal.Open(dir, initFrontier)
+}
+
+// Recover rebuilds the translation layer persisted in dir — checkpoint
+// plus journal replay, stopping cleanly at a torn tail — and reports
+// what replay found. The returned layer can resume simulation as
+// Config.CustomLayer.
+func Recover(dir string) (*LS, ReplayStats, error) { return stl.RecoverDir(dir) }
 
 // Workloads returns the names of the 21 cataloged synthetic workloads.
 func Workloads() []string { return workload.Names() }

@@ -170,3 +170,40 @@ func TestPaperHeadlineShapes(t *testing.T) {
 		t.Errorf("w20: cache SAF %.2f should beat LS %.2f", w20["LS+cache"], w20["LS"])
 	}
 }
+
+func TestJournalFacade(t *testing.T) {
+	dir := t.TempDir()
+	recs := smrseek.MustWorkload("hm_1").Generate(0.2)
+	lg, err := smrseek.OpenJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smrseek.Config{
+		LogStructured: true,
+		Journal:       &smrseek.JournalConfig{Log: lg, CheckpointEvery: 10},
+	}
+	st, err := smrseek.Run(cfg, recs)
+	lg.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d smrseek.Durability = st.Durability
+	if d.JournalAppends == 0 || d.Checkpoints == 0 {
+		t.Fatalf("durability stats look empty: %+v", d)
+	}
+	var l *smrseek.LS
+	var rst smrseek.ReplayStats
+	l, rst, err = smrseek.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rst.FromCheckpoint {
+		t.Errorf("replay stats: %+v, want FromCheckpoint", rst)
+	}
+	if l.LogSectors() == 0 || l.Map().Len() == 0 {
+		t.Error("recovered layer is empty")
+	}
+	if err := l.Map().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
