@@ -31,6 +31,7 @@ import (
 	"smrseek/internal/geom"
 	"smrseek/internal/journal"
 	"smrseek/internal/metrics"
+	"smrseek/internal/obsv"
 	"smrseek/internal/report"
 	"smrseek/internal/stl"
 	"smrseek/internal/trace"
@@ -68,12 +69,21 @@ func run(args []string, out io.Writer) error {
 		ckptEvery    = fs.Int64("checkpoint-every", 4096, "checkpoint the STL after this many journal records (with -journal; 0 = never)")
 		crashAfter   = fs.Int64("crash-after", 0, "inject a crash on the Nth journal append, leaving a torn record (with -journal)")
 		recoverFlag  = fs.Bool("recover", false, "recover the STL state from the -journal directory; alone it just reports, with a workload it continues the run")
+		traceOut     = fs.String("trace-out", "", "record the run's event trace to this file (replayable binary; a .txt suffix writes human-readable text)")
+		hist         = fs.Bool("hist", false, "collect seek/fragmentation/latency histograms and print them (with the seek-distance CDF) after the run")
+		metricsAddr  = fs.String("metrics-addr", "", `serve live JSON metrics and expvar on this address while the run is in flight (e.g. "127.0.0.1:8080")`)
+		pprofFlag    = fs.Bool("pprof", false, "also serve net/http/pprof on -metrics-addr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	recoverOnly := *recoverFlag && *workloadName == "" && *tracePath == ""
 	if err := validateFlags(*scale, *timeout, *journalDir, *ckptEvery, *crashAfter,
 		*recoverFlag, *all, *layerName, *cacheMB); err != nil {
+		return err
+	}
+	obs := obsvOpts{traceOut: *traceOut, hist: *hist, addr: *metricsAddr, pprof: *pprofFlag}
+	if err := obs.validate(*all, recoverOnly); err != nil {
 		return err
 	}
 
@@ -181,7 +191,34 @@ func run(args []string, out io.Writer) error {
 		}
 		cfg.Journal = &core.JournalConfig{Log: lg, CheckpointEvery: *ckptEvery}
 	}
-	return runOne(ctx, out, recs, cfg, *withTime, recovery)
+	return runOne(ctx, out, recs, cfg, *withTime, recovery, obs)
+}
+
+// obsvOpts carries the observability flags: event-trace recording,
+// histogram collection and the live metrics endpoint.
+type obsvOpts struct {
+	traceOut string
+	hist     bool
+	addr     string
+	pprof    bool
+}
+
+func (o obsvOpts) enabled() bool { return o.traceOut != "" || o.hist || o.addr != "" }
+
+// validate rejects observability flags in modes that don't run exactly
+// one simulation: -all runs the whole variant comparison and standalone
+// -recover runs none. -crash-after IS compatible — a crash run's trace
+// replays to the pre-crash stats.
+func (o obsvOpts) validate(all, recoverOnly bool) error {
+	switch {
+	case o.pprof && o.addr == "":
+		return fmt.Errorf("-pprof requires -metrics-addr (pprof is served on the metrics endpoint)")
+	case all && o.enabled():
+		return fmt.Errorf("-trace-out/-hist/-metrics-addr cannot be combined with -all (they follow a single run)")
+	case recoverOnly && o.enabled():
+		return fmt.Errorf("-trace-out/-hist/-metrics-addr need a workload to observe; standalone -recover runs none")
+	}
+	return nil
 }
 
 // validateFlags rejects nonsensical flag combinations up front, before
@@ -356,7 +393,7 @@ func runAll(ctx context.Context, out io.Writer, recs []smrseek.Record) error {
 	return tb.Render(out)
 }
 
-func runOne(ctx context.Context, out io.Writer, recs []smrseek.Record, cfg smrseek.Config, withTime bool, recovery *stl.ReplayStats) error {
+func runOne(ctx context.Context, out io.Writer, recs []smrseek.Record, cfg smrseek.Config, withTime bool, recovery *stl.ReplayStats, obs obsvOpts) error {
 	// Baseline for SAF, always fault-free so SAF compares like with like.
 	base, err := smrseek.RunContext(ctx, smrseek.Config{}, recs)
 	if err != nil {
@@ -370,6 +407,29 @@ func runOne(ctx context.Context, out io.Writer, recs []smrseek.Record, cfg smrse
 	if err != nil {
 		return err
 	}
+	var tracer *obsv.Tracer
+	if obs.traceOut != "" {
+		if tracer, err = obsv.Create(obs.traceOut); err != nil {
+			return err
+		}
+		sim.AddProbe(tracer)
+	}
+	var col *obsv.Collector
+	if obs.hist || obs.addr != "" {
+		col = obsv.NewCollector()
+		if ls := sim.LS(); ls != nil {
+			col.SetStateFn(func() (geom.Sector, int) { return ls.Frontier(), ls.Map().Len() })
+		}
+		sim.AddProbe(col)
+	}
+	if obs.addr != "" {
+		srv, err := obsv.Serve(obs.addr, col, obs.pprof)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "serving metrics on http://%s/metrics\n", srv.Addr())
+	}
 	var acc *disk.TimeAccumulator
 	if withTime {
 		acc = disk.NewTimeAccumulator(disk.DefaultTimeModel())
@@ -379,6 +439,12 @@ func runOne(ctx context.Context, out io.Writer, recs []smrseek.Record, cfg smrse
 	crashed := errors.Is(err, journal.ErrCrashed)
 	if err != nil && !crashed {
 		return err
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return fmt.Errorf("event trace %s: %w", obs.traceOut, err)
+		}
+		fmt.Fprintf(out, "event trace written to %s\n", obs.traceOut)
 	}
 
 	tb := report.NewTable(fmt.Sprintf("%s results", cfg.Name()), "metric", "value")
@@ -430,6 +496,22 @@ func runOne(ctx context.Context, out io.Writer, recs []smrseek.Record, cfg smrse
 		}
 		fmt.Fprintln(out)
 		if err := report.DurabilityTable(d).Render(out); err != nil {
+			return err
+		}
+	}
+	if col != nil && obs.hist {
+		snap := col.Snapshot()
+		for _, h := range snap.Hists() {
+			if h.Total == 0 {
+				continue
+			}
+			fmt.Fprintln(out)
+			if err := report.HistogramTable(h.Name, h.Unit, h.Buckets, h.Total).Render(out); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(out)
+		if err := report.CDFTable("seek distance CDF", "sectors", snap.SeekDistance.CDF()).Render(out); err != nil {
 			return err
 		}
 	}

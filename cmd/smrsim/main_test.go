@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"smrseek"
+	"smrseek/internal/obsv"
 )
 
 func TestRunWorkloadAll(t *testing.T) {
@@ -260,11 +261,89 @@ func TestRunFlagValidation(t *testing.T) {
 		"negative checkpoint period": {"-workload", "hm_1", "-journal", "x", "-checkpoint-every", "-1"},
 		"journal with all":           {"-workload", "hm_1", "-journal", "x", "-all"},
 		"journal with custom layer":  {"-workload", "hm_1", "-journal", "x", "-layer", "segls"},
+
+		// Observability flags follow exactly one simulation: they conflict
+		// with -all (many runs) and with standalone -recover (no run).
+		"pprof without metrics-addr":        {"-workload", "hm_1", "-pprof"},
+		"trace-out with all":                {"-workload", "hm_1", "-all", "-trace-out", "x.trace"},
+		"hist with all":                     {"-workload", "hm_1", "-all", "-hist"},
+		"metrics-addr with all":             {"-workload", "hm_1", "-all", "-metrics-addr", "127.0.0.1:0"},
+		"trace-out with standalone recover": {"-journal", "x", "-recover", "-trace-out", "x.trace"},
+		"hist with standalone recover":      {"-journal", "x", "-recover", "-hist"},
+		"metrics with standalone recover":   {"-journal", "x", "-recover", "-metrics-addr", "127.0.0.1:0"},
 	}
 	for name, args := range cases {
 		var buf bytes.Buffer
 		if err := run(args, &buf); err == nil {
 			t.Errorf("%s: accepted %v", name, args)
 		}
+	}
+}
+
+// TestRunTraceOutReplay records a run's event trace via -trace-out and
+// checks that it replays; -crash-after + -trace-out is the explicitly
+// supported pairing (a crash run's trace replays to the crash stats).
+func TestRunTraceOutReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.trace")
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "hm_1", "-scale", "0.2", "-ls",
+		"-trace-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "event trace written to "+path) {
+		t.Errorf("output missing trace note:\n%s", buf.String())
+	}
+	st, err := obsv.ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reads == 0 || st.Writes == 0 || st.Disk.TotalSeeks() == 0 {
+		t.Errorf("replayed stats look empty: %+v", st)
+	}
+
+	// Crash run: the trace must still be complete and replayable, and
+	// record the crash.
+	crashPath := filepath.Join(dir, "crash.trace")
+	var cbuf bytes.Buffer
+	if err := run([]string{"-workload", "hm_1", "-scale", "0.2",
+		"-journal", filepath.Join(dir, "wal"), "-crash-after", "30",
+		"-trace-out", crashPath}, &cbuf); err != nil {
+		t.Fatal(err)
+	}
+	cst, err := obsv.ReplayFile(crashPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cst.Durability.Crashed {
+		t.Errorf("crash-run trace replayed without Crashed: %+v", cst.Durability)
+	}
+	if cst.Durability.JournalAppends == 0 {
+		t.Errorf("crash-run trace has no journal appends: %+v", cst.Durability)
+	}
+}
+
+func TestRunHist(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "hm_1", "-scale", "0.2", "-ls", "-hist"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"seek_distance", "frags_per_read",
+		"read_latency", "write_latency", "seek distance CDF", "P(X<=x)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-hist output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMetricsAddr(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "hm_1", "-scale", "0.2", "-ls",
+		"-metrics-addr", "127.0.0.1:0", "-pprof"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "serving metrics on http://127.0.0.1:") {
+		t.Errorf("output missing metrics address:\n%s", buf.String())
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"smrseek/internal/fault"
 	"smrseek/internal/geom"
@@ -48,6 +49,7 @@ func (s *Simulator) journalAppend(kind journal.RecordKind, lba geom.Extent, pba 
 	err := s.wal.Append(rec)
 	if err == nil {
 		s.stats.Durability.JournalAppends++
+		s.emitJournal(JournalAppend, 0)
 		return true
 	}
 	maxRetries := fault.DefaultMaxRetries
@@ -56,17 +58,21 @@ func (s *Simulator) journalAppend(kind journal.RecordKind, lba geom.Extent, pba 
 	}
 	for attempt := 0; attempt < maxRetries && fault.IsTransient(err); attempt++ {
 		s.stats.Durability.AppendRetries++
+		s.emitJournal(JournalAppendRetry, 0)
 		if err = s.wal.Append(rec); err == nil {
 			s.stats.Durability.JournalAppends++
+			s.emitJournal(JournalAppend, 0)
 			return true
 		}
 	}
 	if errors.Is(err, journal.ErrCrashed) {
 		s.stats.Durability.Crashed = true
+		s.emitJournal(JournalCrash, 0)
 		s.jerr = err
 		return false
 	}
 	s.stats.Durability.AppendFailures++
+	s.emitJournal(JournalAppendFailure, 0)
 	if !fault.IsTransient(err) {
 		// The journal device is broken beyond retry: continuing would
 		// silently diverge the durable state, so stop the run.
@@ -87,14 +93,17 @@ func (s *Simulator) maybeCheckpoint() {
 	if s.wal.SinceCheckpoint() < s.ckptEvery {
 		return
 	}
+	start := time.Now()
 	if err := s.wal.Checkpoint(s.ls.Snapshot()); err != nil {
 		if errors.Is(err, journal.ErrCrashed) {
 			s.stats.Durability.Crashed = true
+			s.emitJournal(JournalCrash, 0)
 		}
 		s.jerr = err
 		return
 	}
 	s.stats.Durability.Checkpoints++
+	s.emitJournal(JournalCheckpoint, time.Since(start))
 }
 
 // JournalErr returns the sticky journal error that stopped the

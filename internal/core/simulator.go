@@ -209,6 +209,8 @@ type Simulator struct {
 	opIndex   int64
 	stats     Stats
 	observers []ReadObserver
+	probes    []Probe // observability probes; empty => zero instrumentation cost
+	inMaint   bool    // true while draining background maintenance I/O
 }
 
 // NewSimulator builds a simulator from the configuration.
@@ -260,6 +262,9 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if cfg.Journal != nil {
 		s.wal = cfg.Journal.Log
 		s.ckptEvery = cfg.Journal.CheckpointEvery
+	}
+	if gp := globalProbe.Load(); gp != nil {
+		s.AddProbe(*gp)
 	}
 	s.stats.Config = cfg
 	return s, nil
@@ -313,12 +318,14 @@ func (s *Simulator) RunContext(ctx context.Context, r trace.Reader) (Stats, erro
 			// The journal crashed (or broke): the simulated device lost
 			// power. The stats so far describe the pre-crash state the
 			// recovery harness compares against.
+			s.Finish()
 			return s.Stats(), s.jerr
 		}
 	}
 	if err := r.Err(); err != nil {
 		return Stats{}, err
 	}
+	s.Finish()
 	return s.Stats(), nil
 }
 
@@ -380,6 +387,7 @@ func (s *Simulator) drainMaintenance() {
 	if s.maintainer == nil {
 		return
 	}
+	s.inMaint = true
 	for _, op := range s.maintainer.PendingMaintenance() {
 		// Maintenance faults are retried like host I/O; an unrecovered
 		// one is recorded by access. The layer's own bookkeeping already
@@ -387,11 +395,14 @@ func (s *Simulator) drainMaintenance() {
 		s.access(op.Kind, op.Extent)
 		if op.Kind == disk.Read {
 			s.stats.MaintReads++
+			s.emitMech(MechMaintRead, op.Extent.Count)
 		} else {
 			s.stats.MaintWrites++
+			s.emitMech(MechMaintWrite, op.Extent.Count)
 		}
 		s.stats.MaintSectors += op.Extent.Count
 	}
+	s.inMaint = false
 }
 
 // access performs one physical I/O with bounded retries for transient
@@ -401,7 +412,10 @@ func (s *Simulator) drainMaintenance() {
 // once an attempt succeeds; a media error or an exhausted retry budget
 // is recorded as unrecovered and returned.
 func (s *Simulator) access(kind disk.OpKind, phys geom.Extent) error {
-	_, err := s.dev.TryDo(kind, phys)
+	a, err := s.dev.TryDo(kind, phys)
+	if len(s.probes) != 0 {
+		s.emitAccess(AccessEvent{Op: s.opIndex, Access: a, Maintenance: s.inMaint, Transient: fault.IsTransient(err)})
+	}
 	if err == nil {
 		return nil
 	}
@@ -413,17 +427,27 @@ func (s *Simulator) access(kind disk.OpKind, phys geom.Extent) error {
 	}
 	for attempt := 0; attempt < maxRetries && fault.IsTransient(err); attempt++ {
 		s.stats.Resilience.Retries++
-		if _, err = s.dev.TryDo(kind, phys); err == nil {
+		s.emitMech(MechRetry, 0)
+		a, err = s.dev.TryDo(kind, phys)
+		if len(s.probes) != 0 {
+			s.emitAccess(AccessEvent{Op: s.opIndex, Access: a, Maintenance: s.inMaint, Transient: fault.IsTransient(err)})
+		}
+		if err == nil {
 			s.stats.Resilience.Recoveries++
+			s.emitMech(MechRecovery, 0)
 			return nil
 		}
 	}
 	s.stats.Resilience.Unrecovered++
+	s.emitMech(MechUnrecovered, 0)
 	return err
 }
 
 func (s *Simulator) stepWrite(rec trace.Record) {
 	s.stats.Writes++
+	if len(s.probes) != 0 {
+		s.emitOp(OpEvent{Op: s.opIndex, Kind: disk.Write, Lba: rec.Extent})
+	}
 	if s.wal != nil {
 		// Write-ahead: the record is durable before the map mutates. A
 		// failed append drops the op entirely, so the live state stays
@@ -439,7 +463,9 @@ func (s *Simulator) stepWrite(rec trace.Record) {
 		s.access(disk.Write, f.PhysExtent())
 	}
 	if s.cache != nil {
-		s.cache.Invalidate(rec.Extent)
+		if n := s.cache.Invalidate(rec.Extent); n > 0 {
+			s.emitMech(MechCacheInvalidate, int64(n))
+		}
 	}
 	// The prefetch buffer indexes physical log addresses, which are
 	// immutable in LS: no invalidation needed.
@@ -456,6 +482,9 @@ func (s *Simulator) stepRead(rec trace.Record) {
 	if fragmented {
 		s.stats.FragmentedReads++
 	}
+	if len(s.probes) != 0 {
+		s.emitOp(OpEvent{Op: s.opIndex, Kind: disk.Read, Lba: rec.Extent, Frags: len(frags)})
+	}
 
 	ev := ReadEvent{OpIndex: s.opIndex, Lba: rec.Extent, Fragments: frags}
 	for _, o := range s.observers {
@@ -468,20 +497,26 @@ func (s *Simulator) stepRead(rec trace.Record) {
 		// through to the medium.
 		if fragmented && s.cache != nil {
 			if s.cache.Has(f.Lba) {
+				s.emitMech(MechCacheHit, 0)
 				if s.injector != nil && s.injector.Poisoned() {
 					s.cache.Evict(f.Lba)
 					s.stats.Resilience.PoisonedEvictions++
+					s.emitMech(MechPoisonedEviction, 0)
 				} else {
 					continue // served from cache: no disk access, no seek
 				}
+			} else {
+				s.emitMech(MechCacheMiss, 0)
 			}
 		}
 		// Algorithm 2: on fragmented reads, try the drive buffer. A
 		// poisoned buffer serve falls back to the direct read.
 		if fragmented && s.prefetch != nil {
 			if s.prefetch.Covers(f.PhysExtent()) {
+				s.emitMech(MechPrefetchHit, 0)
 				if s.injector != nil && s.injector.Poisoned() {
 					s.stats.Resilience.PrefetchFallbacks++
+					s.emitMech(MechPrefetchFallback, 0)
 				} else {
 					continue // served from the drive buffer: no seek
 				}
@@ -525,6 +560,7 @@ func (s *Simulator) relocate(lba geom.Extent) {
 		for _, f := range pv.PreviewWrite(lba) {
 			if err := s.access(disk.Write, f.PhysExtent()); err != nil {
 				s.stats.Resilience.AbortedRelocations++
+				s.emitMech(MechAbortedRelocation, 0)
 				return // extent map untouched
 			}
 		}
@@ -534,6 +570,7 @@ func (s *Simulator) relocate(lba geom.Extent) {
 			// aborted like a faulted one.
 			if !s.journalAppend(journal.RecRelocate, lba, s.ls.Frontier()) {
 				s.stats.Resilience.AbortedRelocations++
+				s.emitMech(MechAbortedRelocation, 0)
 				return
 			}
 		}
@@ -544,4 +581,5 @@ func (s *Simulator) relocate(lba geom.Extent) {
 		}
 	}
 	s.defrag.NoteWriteback(lba.Count)
+	s.emitMech(MechDefragWriteback, lba.Count)
 }

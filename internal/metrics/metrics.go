@@ -276,6 +276,44 @@ func (h *Histogram) Buckets() []Bucket {
 	return out
 }
 
+// CDFPoints renders the histogram as an empirical CDF sampled at the
+// bucket boundaries, most-negative first. At each returned X the P value
+// is exact — equal to what a full-sample CDF would report at the same X
+// — because every bucket lies entirely on one side of its boundary:
+// a negative bucket (-Hi, -Lo] is sampled at X = -Lo, the zero bucket at
+// X = 0, and a positive bucket [Lo, Hi) at X = Hi-1 (samples are
+// integers). Between points the histogram has no information; consumers
+// interpolate or step.
+func (h *Histogram) CDFPoints() []Point {
+	return CDFFromBuckets(h.Buckets(), h.total)
+}
+
+// CDFFromBuckets computes the exact boundary-sampled CDF (see CDFPoints)
+// from a bucket list as returned by Buckets — ascending value order,
+// most-negative first — and the total sample count. It returns nil for
+// an empty histogram.
+func CDFFromBuckets(buckets []Bucket, total int64) []Point {
+	if total == 0 {
+		return nil
+	}
+	out := make([]Point, 0, len(buckets))
+	var cum int64
+	for _, b := range buckets {
+		cum += b.Count
+		var x float64
+		switch {
+		case b.Negative:
+			x = -float64(b.Lo)
+		case b.Lo == 0:
+			x = 0
+		default:
+			x = float64(b.Hi - 1)
+		}
+		out = append(out, Point{X: x, P: float64(cum) / float64(total)})
+	}
+	return out
+}
+
 // CountWithin returns how many samples have |v| <= limit.
 func (h *Histogram) CountWithin(limit int64) int64 {
 	if limit < 0 {

@@ -1,0 +1,80 @@
+package obsv
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	hpprof "net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The expvar registry is global and Publish panics on duplicate names,
+// so the package publishes a single "smrseek" var once and redirects it
+// to whichever collector was served most recently. Tests and repeated
+// CLI runs in one process thus never collide.
+var (
+	pubOnce    sync.Once
+	currentVar atomic.Pointer[Collector]
+)
+
+func publishExpvar(c *Collector) {
+	currentVar.Store(c)
+	pubOnce.Do(func() {
+		expvar.Publish("smrseek", expvar.Func(func() interface{} {
+			if c := currentVar.Load(); c != nil {
+				return c.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// Server serves live introspection for one collector:
+//
+//	/metrics      the collector's Snapshot as JSON
+//	/debug/vars   standard expvar JSON (includes the "smrseek" var)
+//	/debug/pprof  net/http/pprof handlers (only when enabled)
+//
+// The listener binds eagerly so the caller learns the bound address
+// (useful with ":0") and bind errors synchronously.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr and starts serving the collector. With pprof false
+// the /debug/pprof endpoints are absent — profiling costs nothing until
+// asked for.
+func Serve(addr string, c *Collector, pprof bool) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	publishExpvar(c)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(c.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	if pprof {
+		mux.HandleFunc("/debug/pprof/", hpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", hpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", hpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", hpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", hpprof.Trace)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:37041" for ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -193,6 +193,40 @@ func DurabilityTable(d metrics.Durability) *Table {
 	return tb
 }
 
+// HistogramTable renders a log2-bucketed histogram (see
+// metrics.Histogram) as one row per non-empty bucket: the value range,
+// the sample count, and the cumulative fraction through that bucket.
+// unit labels the value column ("sectors", "µs", ...).
+func HistogramTable(title, unit string, buckets []metrics.Bucket, total int64) *Table {
+	tb := NewTable(title, unit, "count", "cum")
+	var cum int64
+	for _, b := range buckets {
+		cum += b.Count
+		var rng string
+		switch {
+		case b.Negative:
+			rng = fmt.Sprintf("(-%s, -%s]", HumanCount(b.Hi), HumanCount(b.Lo))
+		case b.Lo == 0:
+			rng = "0"
+		default:
+			rng = fmt.Sprintf("[%s, %s)", HumanCount(b.Lo), HumanCount(b.Hi))
+		}
+		tb.AddRow(rng, HumanCount(b.Count),
+			fmt.Sprintf("%.2f%%", 100*float64(cum)/float64(total)))
+	}
+	return tb
+}
+
+// CDFTable renders boundary-sampled CDF points (metrics.CDFPoints) as
+// an x / P(X<=x) table.
+func CDFTable(title, unit string, pts []metrics.Point) *Table {
+	tb := NewTable(title, unit, "P(X<=x)")
+	for _, p := range pts {
+		tb.AddRow(HumanCount(int64(p.X)), fmt.Sprintf("%.4f", p.P))
+	}
+	return tb
+}
+
 // HumanBytes formats a byte count with binary units.
 func HumanBytes(n int64) string {
 	const unit = 1024

@@ -3,6 +3,8 @@
 #
 #   scripts/bench.sh            # rewrite BENCH_baseline.json
 #   scripts/bench.sh compare    # run benchmarks, diff against the baseline
+#   scripts/bench.sh smoke      # CI gate: simulator + extent-map benchmarks
+#                               # at short benchtime, fail on >25% ns/op growth
 #
 # Run from the repo root. The experiment benchmarks self-scale (see
 # -benchscale in bench_test.go), so a full run takes a few minutes; the
@@ -13,6 +15,18 @@ cd "$(dirname "$0")/.."
 out=BENCH_baseline.json
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
+
+if [ "${1:-}" = smoke ]; then
+	# CI regression smoke: only the hot-path benchmarks (simulator
+	# throughput, extent map) at a short benchtime. Short runs are
+	# noisy, so the gate is wide — it catches structural regressions
+	# (an accidentally-always-on probe, an O(n) slip), not jitter.
+	go test -run='^$' -bench='^(BenchmarkSimulatorThroughput|BenchmarkInsert|BenchmarkLookup|BenchmarkFragments)$' \
+		-benchtime=0.3s -timeout 10m . ./internal/extmap |
+		go run ./scripts/benchjson >"$tmp"
+	go run ./scripts/benchjson -compare -gate 25 -match 'BenchmarkSimulator|internal/extmap' "$out" "$tmp"
+	exit 0
+fi
 
 go test -run='^$' -bench=. -benchmem -timeout 30m ./... |
 	go run ./scripts/benchjson >"$tmp"
@@ -27,7 +41,7 @@ compare)
 	echo "wrote $out"
 	;;
 *)
-	echo "usage: scripts/bench.sh [compare]" >&2
+	echo "usage: scripts/bench.sh [compare|smoke]" >&2
 	exit 2
 	;;
 esac

@@ -5,10 +5,13 @@
 //
 //	go test -run='^$' -bench=. -benchmem ./... | go run ./scripts/benchjson > BENCH_baseline.json
 //	go run ./scripts/benchjson -compare BENCH_baseline.json BENCH_new.json
+//	go run ./scripts/benchjson -compare -gate 25 -match 'Simulator|extmap' old.json new.json
 //
-// Compare prints one line per benchmark with the ns/op delta; it exits
-// nonzero only on malformed input, never on regressions — the output is
-// for humans reviewing a PR's perf trajectory, not a gate.
+// Compare prints one line per benchmark with the ns/op delta. By default
+// it exits nonzero only on malformed input — the output is for humans
+// reviewing a PR's perf trajectory. With -gate PCT it becomes a CI
+// gate: any benchmark (optionally filtered by -match against
+// "pkg.Name") whose ns/op grew by more than PCT percent fails the run.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -42,13 +46,22 @@ type Baseline struct {
 
 func main() {
 	compare := flag.Bool("compare", false, "compare two baseline files instead of parsing stdin")
+	gate := flag.Float64("gate", 0, "with -compare: fail when any matched benchmark's ns/op grew by more than this percent (0 = report only)")
+	match := flag.String("match", "", `with -gate: regexp selecting the benchmarks to gate, matched against "pkg.Name" (empty = all)`)
 	flag.Parse()
 	var err error
 	if *compare {
-		if flag.NArg() != 2 {
+		var re *regexp.Regexp
+		if *match != "" {
+			re, err = regexp.Compile(*match)
+		}
+		switch {
+		case err != nil:
+			err = fmt.Errorf("-match: %v", err)
+		case flag.NArg() != 2:
 			err = fmt.Errorf("-compare wants exactly two baseline files, got %d", flag.NArg())
-		} else {
-			err = runCompare(os.Stdout, flag.Arg(0), flag.Arg(1))
+		default:
+			err = runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), re, *gate)
 		}
 	} else {
 		err = runParse(os.Stdin, os.Stdout)
@@ -118,7 +131,7 @@ func parseBenchLine(line string) (Result, bool, error) {
 		return Result{}, false, nil
 	}
 	var res Result
-	res.Name = f[0]
+	res.Name = stripProcSuffix(f[0])
 	var err error
 	if res.Iterations, err = strconv.ParseInt(f[1], 10, 64); err != nil {
 		return Result{}, false, fmt.Errorf("iterations: %w", err)
@@ -141,7 +154,7 @@ func parseBenchLine(line string) (Result, bool, error) {
 	return res, true, nil
 }
 
-func runCompare(out io.Writer, oldPath, newPath string) error {
+func runCompare(out io.Writer, oldPath, newPath string, match *regexp.Regexp, gatePct float64) error {
 	oldB, err := loadBaseline(oldPath)
 	if err != nil {
 		return err
@@ -151,7 +164,55 @@ func runCompare(out io.Writer, oldPath, newPath string) error {
 		return err
 	}
 	fmt.Fprint(out, FormatCompare(oldB, newB))
+	if gatePct > 0 {
+		if bad := Regressions(oldB, newB, match, gatePct); len(bad) > 0 {
+			return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%:\n  %s",
+				len(bad), gatePct, strings.Join(bad, "\n  "))
+		}
+	}
 	return nil
+}
+
+// Regressions returns a description of every benchmark present in both
+// baselines (and matching match, when non-nil) whose ns/op grew by more
+// than gatePct percent.
+func Regressions(oldB, newB Baseline, match *regexp.Regexp, gatePct float64) []string {
+	newByKey := map[string]Result{}
+	for _, r := range newB.Benchmarks {
+		newByKey[r.Pkg+"."+r.Name] = r
+	}
+	var bad []string
+	for _, o := range oldB.Benchmarks {
+		k := o.Pkg + "." + o.Name
+		if match != nil && !match.MatchString(k) {
+			continue
+		}
+		n, ok := newByKey[k]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		if delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100; delta > gatePct {
+			bad = append(bad, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%%)",
+				k, o.NsPerOp, n.NsPerOp, delta))
+		}
+	}
+	return bad
+}
+
+// stripProcSuffix removes the trailing -GOMAXPROCS marker go test
+// appends to benchmark names ("BenchmarkInsert-8" -> "BenchmarkInsert"),
+// so a baseline generated on one machine pairs up with runs on another.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }
 
 func loadBaseline(path string) (Baseline, error) {

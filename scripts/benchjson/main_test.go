@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -29,15 +30,34 @@ func TestParse(t *testing.T) {
 	if len(b.Benchmarks) != 3 {
 		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(b.Benchmarks), b.Benchmarks)
 	}
-	// Sorted by pkg then name: disk first.
+	// Sorted by pkg then name: disk first. The -GOMAXPROCS suffix is
+	// stripped so baselines pair up across machines.
 	first := b.Benchmarks[0]
-	if first.Pkg != "smrseek/internal/disk" || first.Name != "BenchmarkSeekTime-8" || first.NsPerOp != 2000 {
+	if first.Pkg != "smrseek/internal/disk" || first.Name != "BenchmarkSeekTime" || first.NsPerOp != 2000 {
 		t.Errorf("first = %+v", first)
 	}
 	ins := b.Benchmarks[1]
-	if ins.Name != "BenchmarkInsert-8" || ins.Iterations != 123456 ||
+	if ins.Name != "BenchmarkInsert" || ins.Iterations != 123456 ||
 		ins.NsPerOp != 98.5 || ins.BytesPerOp != 24 || ins.AllocsPerOp != 1 {
 		t.Errorf("insert = %+v", ins)
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkInsert-8":       "BenchmarkInsert",
+		"BenchmarkInsert-128":     "BenchmarkInsert",
+		"BenchmarkInsert":         "BenchmarkInsert",
+		"BenchmarkLookup/100k-8":  "BenchmarkLookup/100k",
+		"BenchmarkLookup/100k":    "BenchmarkLookup/100k",
+		"BenchmarkX-":             "BenchmarkX-",
+		"-8":                      "-8",
+		"BenchmarkAblation/1GiB4": "BenchmarkAblation/1GiB4",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
 	}
 }
 
@@ -62,5 +82,33 @@ func TestFormatCompare(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("compare output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRegressionsGate(t *testing.T) {
+	oldB := Baseline{Benchmarks: []Result{
+		{Pkg: "smrseek", Name: "BenchmarkSimulatorThroughput", NsPerOp: 100},
+		{Pkg: "smrseek/internal/extmap", Name: "BenchmarkInsert", NsPerOp: 100},
+		{Pkg: "smrseek/internal/lru", Name: "BenchmarkAdd", NsPerOp: 100},
+		{Pkg: "p", Name: "BenchmarkGone", NsPerOp: 100},
+	}}
+	newB := Baseline{Benchmarks: []Result{
+		{Pkg: "smrseek", Name: "BenchmarkSimulatorThroughput", NsPerOp: 124}, // within gate
+		{Pkg: "smrseek/internal/extmap", Name: "BenchmarkInsert", NsPerOp: 200},
+		{Pkg: "smrseek/internal/lru", Name: "BenchmarkAdd", NsPerOp: 900}, // unmatched
+	}}
+	match := regexp.MustCompile(`BenchmarkSimulator|extmap`)
+
+	bad := Regressions(oldB, newB, match, 25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkInsert") {
+		t.Errorf("Regressions = %v, want only the extmap insert", bad)
+	}
+	// The filter kept the lru blow-up out; without it, it gates too.
+	if bad := Regressions(oldB, newB, nil, 25); len(bad) != 2 {
+		t.Errorf("unfiltered Regressions = %v, want 2 entries", bad)
+	}
+	// Nothing over a huge gate; disappeared benchmarks never gate.
+	if bad := Regressions(oldB, newB, nil, 1000); len(bad) != 0 {
+		t.Errorf("Regressions over 1000%% gate = %v, want none", bad)
 	}
 }

@@ -99,6 +99,21 @@ type (
 
 	// Fragment is one physically-contiguous piece of a resolved read.
 	Fragment = stl.Fragment
+
+	// Probe receives a run's low-level observability event stream;
+	// attach implementations via Simulator.AddProbe (internal/obsv
+	// provides a replayable tracer and a histogram collector).
+	Probe = core.Probe
+	// OpEvent describes one logical trace operation.
+	OpEvent = core.OpEvent
+	// AccessEvent describes one physical I/O attempt.
+	AccessEvent = core.AccessEvent
+	// MechEvent reports one mechanism outcome (cache hit, retry, ...).
+	MechEvent = core.MechEvent
+	// JournalEvent reports one write-ahead-journal event.
+	JournalEvent = core.JournalEvent
+	// Summary carries a run's end-of-run state snapshot.
+	Summary = core.Summary
 )
 
 // OpKind distinguishes reads from writes in Records.
@@ -122,6 +137,11 @@ var (
 
 // NewSimulator builds a simulator for the configuration.
 func NewSimulator(cfg Config) (*Simulator, error) { return core.NewSimulator(cfg) }
+
+// SetGlobalProbe attaches p to every simulator built after the call
+// (nil detaches), so one observer can watch runs constructed deep
+// inside Compare/RunExperiment pipelines.
+func SetGlobalProbe(p Probe) { core.SetGlobalProbe(p) }
 
 // Run simulates the records under the configuration and returns stats.
 // LS configurations with FrontierStart == 0 get the frontier placed just
