@@ -17,6 +17,7 @@ var benchScale = flag.Float64("benchscale", 0.1, "workload scale used by experim
 
 func benchExperiment(b *testing.B, name string) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := smrseek.RunExperiment(io.Discard, name, *benchScale); err != nil {
 			b.Fatal(err)
@@ -55,22 +56,22 @@ func BenchmarkFig11SAF(b *testing.B) { benchExperiment(b, "fig11") }
 // Ablation benches: the knobs the paper fixes, swept. Reported metric is
 // total SAF ×1000 (as saf_millis) so shapes are visible in bench output.
 
-func w91Records(scale float64) []smrseek.Record {
-	return smrseek.MustWorkload("w91").Generate(scale)
+func w91Records(scale float64) *smrseek.Preloaded {
+	return smrseek.PreloadRecords(smrseek.MustWorkload("w91").Generate(scale))
 }
 
-func safOf(b *testing.B, cfg smrseek.Config, recs []smrseek.Record, baseSeeks int64) float64 {
+func safOf(b *testing.B, cfg smrseek.Config, pl *smrseek.Preloaded, baseSeeks int64) float64 {
 	b.Helper()
-	st, err := smrseek.Run(cfg, recs)
+	st, err := smrseek.RunPreloaded(cfg, pl)
 	if err != nil {
 		b.Fatal(err)
 	}
 	return float64(st.Disk.TotalSeeks()) / float64(baseSeeks)
 }
 
-func baseline(b *testing.B, recs []smrseek.Record) int64 {
+func baseline(b *testing.B, pl *smrseek.Preloaded) int64 {
 	b.Helper()
-	st, err := smrseek.Run(smrseek.Config{}, recs)
+	st, err := smrseek.RunPreloaded(smrseek.Config{}, pl)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -85,6 +86,7 @@ func BenchmarkAblationCacheSize(b *testing.B) {
 	for _, mb := range []int64{4, 16, 64, 256} {
 		mb := mb
 		b.Run(byteLabel(mb), func(b *testing.B) {
+			b.ReportAllocs()
 			var saf float64
 			for i := 0; i < b.N; i++ {
 				cc := smrseek.CacheConfig{CapacityBytes: mb << 20}
@@ -102,6 +104,7 @@ func BenchmarkAblationPrefetchWindow(b *testing.B) {
 	for _, kb := range []int64{16, 64, 256, 1024} {
 		kb := kb
 		b.Run(itoa(kb)+"KiB", func(b *testing.B) {
+			b.ReportAllocs()
 			var saf float64
 			for i := 0; i < b.N; i++ {
 				pc := smrseek.PrefetchConfig{
@@ -129,6 +132,7 @@ func BenchmarkAblationDefragGating(b *testing.B) {
 	} {
 		g := g
 		b.Run(gateLabel(g), func(b *testing.B) {
+			b.ReportAllocs()
 			var saf float64
 			for i := 0; i < b.N; i++ {
 				gg := g
@@ -144,6 +148,7 @@ func BenchmarkAblationDefragGating(b *testing.B) {
 func BenchmarkAblationCombined(b *testing.B) {
 	recs := w91Records(*benchScale)
 	base := baseline(b, recs)
+	b.ReportAllocs()
 	var saf float64
 	for i := 0; i < b.N; i++ {
 		d := smrseek.DefaultDefrag()
@@ -158,14 +163,15 @@ func BenchmarkAblationCombined(b *testing.B) {
 // of the plain LS pipeline — the engineering number that bounds how big
 // a trace the library can replay.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	recs := smrseek.MustWorkload("w89").Generate(0.5)
+	pl := smrseek.PreloadRecords(smrseek.MustWorkload("w89").Generate(0.5))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := smrseek.Run(smrseek.Config{LogStructured: true}, recs); err != nil {
+		if _, err := smrseek.RunPreloaded(smrseek.Config{LogStructured: true}, pl); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(len(recs)*b.N)/b.Elapsed().Seconds(), "ops/s")
+	b.ReportMetric(float64(pl.Len()*b.N)/b.Elapsed().Seconds(), "ops/s")
 }
 
 func byteLabel(mb int64) string {

@@ -34,7 +34,6 @@ import (
 	"smrseek/internal/obsv"
 	"smrseek/internal/report"
 	"smrseek/internal/stl"
-	"smrseek/internal/trace"
 )
 
 func main() {
@@ -65,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		faultSeed    = fs.Uint64("fault-seed", 1, "fault injector seed (same seed => identical fault sequence)")
 		mediaErrors  = fs.String("media-errors", "", `persistent media-error PBA ranges, "start:count,start:count,..."`)
 		timeout      = fs.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit)")
+		preloadN     = fs.Int("preload", 1, "parse the trace once into memory and replay the run N times (perf measurement; N>1 needs a stateless run)")
 		journalDir   = fs.String("journal", "", "write-ahead-journal directory: STL mutations are logged and checkpointed there (implies -ls)")
 		ckptEvery    = fs.Int64("checkpoint-every", 4096, "checkpoint the STL after this many journal records (with -journal; 0 = never)")
 		crashAfter   = fs.Int64("crash-after", 0, "inject a crash on the Nth journal append, leaving a torn record (with -journal)")
@@ -79,11 +79,11 @@ func run(args []string, out io.Writer) error {
 	}
 	recoverOnly := *recoverFlag && *workloadName == "" && *tracePath == ""
 	if err := validateFlags(*scale, *timeout, *journalDir, *ckptEvery, *crashAfter,
-		*recoverFlag, *all, *layerName, *cacheMB); err != nil {
+		*recoverFlag, *all, *layerName, *cacheMB, *preloadN); err != nil {
 		return err
 	}
 	obs := obsvOpts{traceOut: *traceOut, hist: *hist, addr: *metricsAddr, pprof: *pprofFlag}
-	if err := obs.validate(*all, recoverOnly); err != nil {
+	if err := obs.validate(*all, recoverOnly, *preloadN); err != nil {
 		return err
 	}
 
@@ -191,7 +191,7 @@ func run(args []string, out io.Writer) error {
 		}
 		cfg.Journal = &core.JournalConfig{Log: lg, CheckpointEvery: *ckptEvery}
 	}
-	return runOne(ctx, out, recs, cfg, *withTime, recovery, obs)
+	return runOne(ctx, out, smrseek.PreloadRecords(recs), cfg, *withTime, recovery, obs, *preloadN)
 }
 
 // obsvOpts carries the observability flags: event-trace recording,
@@ -208,8 +208,10 @@ func (o obsvOpts) enabled() bool { return o.traceOut != "" || o.hist || o.addr !
 // validate rejects observability flags in modes that don't run exactly
 // one simulation: -all runs the whole variant comparison and standalone
 // -recover runs none. -crash-after IS compatible — a crash run's trace
-// replays to the pre-crash stats.
-func (o obsvOpts) validate(all, recoverOnly bool) error {
+// replays to the pre-crash stats. With -preload N>1 the histogram and
+// metrics probes follow the final replay, but an event trace of N runs
+// would not replay to one coherent state, so -trace-out is rejected.
+func (o obsvOpts) validate(all, recoverOnly bool, preload int) error {
 	switch {
 	case o.pprof && o.addr == "":
 		return fmt.Errorf("-pprof requires -metrics-addr (pprof is served on the metrics endpoint)")
@@ -217,6 +219,8 @@ func (o obsvOpts) validate(all, recoverOnly bool) error {
 		return fmt.Errorf("-trace-out/-hist/-metrics-addr cannot be combined with -all (they follow a single run)")
 	case recoverOnly && o.enabled():
 		return fmt.Errorf("-trace-out/-hist/-metrics-addr need a workload to observe; standalone -recover runs none")
+	case preload > 1 && o.traceOut != "":
+		return fmt.Errorf("-trace-out cannot be combined with -preload %d (an event trace follows a single run)", preload)
 	}
 	return nil
 }
@@ -224,10 +228,14 @@ func (o obsvOpts) validate(all, recoverOnly bool) error {
 // validateFlags rejects nonsensical flag combinations up front, before
 // any trace is loaded or journal created.
 func validateFlags(scale float64, timeout time.Duration, journalDir string,
-	ckptEvery, crashAfter int64, recoverFlag, all bool, layerName string, cacheMB int64) error {
+	ckptEvery, crashAfter int64, recoverFlag, all bool, layerName string, cacheMB int64, preload int) error {
 	switch {
 	case scale <= 0:
 		return fmt.Errorf("-scale %v must be positive", scale)
+	case preload < 1:
+		return fmt.Errorf("-preload %d must be at least 1", preload)
+	case preload > 1 && (journalDir != "" || recoverFlag || crashAfter > 0 || layerName != "" || all):
+		return fmt.Errorf("-preload %d replays the same run and needs it stateless; drop -journal/-recover/-crash-after/-layer/-all", preload)
 	case timeout < 0:
 		return fmt.Errorf("-timeout %v must not be negative", timeout)
 	case cacheMB <= 0:
@@ -393,53 +401,81 @@ func runAll(ctx context.Context, out io.Writer, recs []smrseek.Record) error {
 	return tb.Render(out)
 }
 
-func runOne(ctx context.Context, out io.Writer, recs []smrseek.Record, cfg smrseek.Config, withTime bool, recovery *stl.ReplayStats, obs obsvOpts) error {
+func runOne(ctx context.Context, out io.Writer, pl *smrseek.Preloaded, cfg smrseek.Config, withTime bool, recovery *stl.ReplayStats, obs obsvOpts, replays int) error {
 	// Baseline for SAF, always fault-free so SAF compares like with like.
-	base, err := smrseek.RunContext(ctx, smrseek.Config{}, recs)
+	base, err := smrseek.RunPreloadedContext(ctx, smrseek.Config{}, pl)
 	if err != nil {
 		return err
 	}
 
 	if cfg.LogStructured && cfg.FrontierStart == 0 {
-		cfg.FrontierStart = core.FrontierFor(recs)
+		cfg.FrontierStart = pl.MaxLBA()
 	}
-	sim, err := smrseek.NewSimulator(cfg)
-	if err != nil {
-		return err
-	}
-	var tracer *obsv.Tracer
-	if obs.traceOut != "" {
-		if tracer, err = obsv.Create(obs.traceOut); err != nil {
-			return err
-		}
-		sim.AddProbe(tracer)
-	}
-	var col *obsv.Collector
-	if obs.hist || obs.addr != "" {
-		col = obsv.NewCollector()
-		if ls := sim.LS(); ls != nil {
-			col.SetStateFn(func() (geom.Sector, int) { return ls.Frontier(), ls.Map().Len() })
-		}
-		sim.AddProbe(col)
-	}
-	if obs.addr != "" {
-		srv, err := obsv.Serve(obs.addr, col, obs.pprof)
+	// With -preload N > 1 the run is replayed from the in-memory arena N
+	// times — each replay builds a fresh simulator, so iterations are
+	// identical and the per-replay wall time isolates simulation cost
+	// from parsing. Probes and the time model follow the final replay.
+	var (
+		st      smrseek.Stats
+		crashed bool
+	)
+	for i := 0; i < replays; i++ {
+		last := i == replays-1
+		sim, err := smrseek.NewSimulator(cfg)
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
-		fmt.Fprintf(out, "serving metrics on http://%s/metrics\n", srv.Addr())
+		var tracer *obsv.Tracer
+		if last && obs.traceOut != "" {
+			if tracer, err = obsv.Create(obs.traceOut); err != nil {
+				return err
+			}
+			sim.AddProbe(tracer)
+		}
+		var col *obsv.Collector
+		if last && (obs.hist || obs.addr != "") {
+			col = obsv.NewCollector()
+			if ls := sim.LS(); ls != nil {
+				col.SetStateFn(func() (geom.Sector, int) { return ls.Frontier(), ls.Map().Len() })
+			}
+			sim.AddProbe(col)
+		}
+		if last && obs.addr != "" {
+			srv, err := obsv.Serve(obs.addr, col, obs.pprof)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(out, "serving metrics on http://%s/metrics\n", srv.Addr())
+		}
+		var acc *disk.TimeAccumulator
+		if last && withTime {
+			acc = disk.NewTimeAccumulator(disk.DefaultTimeModel())
+			sim.Disk().AddObserver(acc)
+		}
+		start := time.Now()
+		st, err = sim.RunContext(ctx, pl.NewReader())
+		crashed = errors.Is(err, journal.ErrCrashed)
+		if err != nil && !crashed {
+			return err
+		}
+		if replays > 1 {
+			fmt.Fprintf(out, "replay %d/%d: %s ops in %v\n", i+1, replays,
+				report.HumanCount(int64(pl.Len())), time.Since(start).Round(time.Millisecond))
+		}
+		if !last {
+			continue
+		}
+		if err := renderOne(out, cfg, st, base, acc, tracer, col, recovery, obs, crashed); err != nil {
+			return err
+		}
 	}
-	var acc *disk.TimeAccumulator
-	if withTime {
-		acc = disk.NewTimeAccumulator(disk.DefaultTimeModel())
-		sim.Disk().AddObserver(acc)
-	}
-	st, err := sim.RunContext(ctx, trace.NewSliceReader(recs))
-	crashed := errors.Is(err, journal.ErrCrashed)
-	if err != nil && !crashed {
-		return err
-	}
+	return nil
+}
+
+// renderOne prints the result tables for the (final) run.
+func renderOne(out io.Writer, cfg smrseek.Config, st, base smrseek.Stats, acc *disk.TimeAccumulator,
+	tracer *obsv.Tracer, col *obsv.Collector, recovery *stl.ReplayStats, obs obsvOpts, crashed bool) error {
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
 			return fmt.Errorf("event trace %s: %w", obs.traceOut, err)

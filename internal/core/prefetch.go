@@ -54,9 +54,13 @@ func (c PrefetchConfig) Validate() error {
 // addresses. In a log-structured layer the log is immutable (old physical
 // locations are never rewritten), so buffered ranges can never go stale.
 type Prefetcher struct {
-	cfg     PrefetchConfig
-	windows []geom.Extent // FIFO of inserted windows
-	covered *geom.Set     // union of windows, for containment checks
+	cfg PrefetchConfig
+	// windows[head:] is the FIFO of live windows; evictions advance head
+	// and the backing array is compacted once the dead prefix dominates,
+	// so the queue reuses its storage instead of growing forever.
+	windows []geom.Extent
+	head    int
+	covered *geom.Set // union of live windows, for containment checks
 	bytes   int64
 
 	hits, misses int64
@@ -92,7 +96,7 @@ func (p *Prefetcher) Fill(phys geom.Extent) {
 	p.windows = append(p.windows, w)
 	p.covered.Add(w)
 	p.bytes += w.Bytes()
-	for p.bytes > p.cfg.BufferBytes && len(p.windows) > 1 {
+	for p.bytes > p.cfg.BufferBytes && len(p.windows)-p.head > 1 {
 		p.evictOldest()
 	}
 }
@@ -100,12 +104,19 @@ func (p *Prefetcher) Fill(phys geom.Extent) {
 // evictOldest drops the oldest window and rebuilds coverage, since an
 // overlapping newer window must keep its sectors buffered.
 func (p *Prefetcher) evictOldest() {
-	old := p.windows[0]
-	p.windows = p.windows[1:]
+	old := p.windows[p.head]
+	p.head++
 	p.bytes -= old.Bytes()
 	p.covered.Clear()
-	for _, w := range p.windows {
+	for _, w := range p.windows[p.head:] {
 		p.covered.Add(w)
+	}
+	// Compact once the dead prefix is most of the array, so append stops
+	// growing the backing storage.
+	if p.head > 16 && p.head*2 >= len(p.windows) {
+		n := copy(p.windows, p.windows[p.head:])
+		p.windows = p.windows[:n]
+		p.head = 0
 	}
 }
 

@@ -56,6 +56,11 @@ type SelectiveCache struct {
 	// it may over-approximate (stale after evictions) but never
 	// under-approximate live entries.
 	coverage *geom.Set
+	// spare is the set the invalidation scan rebuilds into; it swaps
+	// with coverage afterwards so neither is reallocated.
+	spare *geom.Set
+	// keyBuf is the reusable buffer for invalidation key scans.
+	keyBuf []extKey
 
 	invalidations int64
 }
@@ -66,6 +71,7 @@ func NewSelectiveCache(cfg CacheConfig) *SelectiveCache {
 		cfg:      cfg,
 		c:        lru.New[extKey, struct{}](cfg.CapacityBytes),
 		coverage: geom.NewSet(),
+		spare:    geom.NewSet(),
 	}
 }
 
@@ -96,29 +102,27 @@ func (s *SelectiveCache) Evict(lba geom.Extent) {
 // the cache can never serve stale data. It returns the number of entries
 // dropped.
 func (s *SelectiveCache) Invalidate(written geom.Extent) int {
-	if written.Empty() || !overlapsAny(s.coverage, written) {
+	if written.Empty() || !s.coverage.OverlapsAny(written) {
 		return 0
 	}
 	// Slow path: scan all keys, drop overlaps, rebuild tight coverage.
+	// The key buffer and the spare set are reused across scans, so even
+	// this path settles into zero allocations.
 	dropped := 0
-	fresh := geom.NewSet()
-	for _, k := range s.c.Keys() {
+	s.keyBuf = s.c.AppendKeys(s.keyBuf[:0])
+	s.spare.Clear()
+	for _, k := range s.keyBuf {
 		e := k.extent()
 		if e.Overlaps(written) {
 			s.c.Remove(k)
 			dropped++
 			continue
 		}
-		fresh.Add(e)
+		s.spare.Add(e)
 	}
-	s.coverage = fresh
+	s.coverage, s.spare = s.spare, s.coverage
 	s.invalidations += int64(dropped)
 	return dropped
-}
-
-// overlapsAny reports whether e overlaps any extent in the set.
-func overlapsAny(set *geom.Set, e geom.Extent) bool {
-	return len(set.Covered(e)) > 0
 }
 
 // Hits returns the number of fragment lookups served from RAM.

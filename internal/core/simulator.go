@@ -182,7 +182,9 @@ type ReadEvent struct {
 	OpIndex int64
 	// Lba is the requested logical extent.
 	Lba geom.Extent
-	// Fragments is the resolution under the configured layer.
+	// Fragments is the resolution under the configured layer. The slice
+	// is the simulator's reusable scratch buffer: it is only valid for
+	// the duration of the observer call and must be copied to be kept.
 	Fragments []stl.Fragment
 }
 
@@ -211,6 +213,18 @@ type Simulator struct {
 	observers []ReadObserver
 	probes    []Probe // observability probes; empty => zero instrumentation cost
 	inMaint   bool    // true while draining background maintenance I/O
+
+	// Zero-allocation hot path: layers that implement the stl.Append*
+	// capability interfaces resolve and place into these per-simulator
+	// scratch buffers instead of allocating a slice per operation. The
+	// fields are nil for custom layers without the capability, and the
+	// slice paths below fall back to Layer/Previewer.
+	resolver stl.AppendResolver
+	writer   stl.AppendWriter
+	prewrite stl.AppendPreviewer
+	preview  stl.Previewer // slice fallback for relocations
+	fragBuf  []stl.Fragment // read resolutions (also backs ReadEvent.Fragments)
+	writeBuf []stl.Fragment // write and relocation placements
 }
 
 // NewSimulator builds a simulator from the configuration.
@@ -239,6 +253,18 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	}
 	if a, ok := s.layer.(stl.Amplifier); ok {
 		s.amplifier = a
+	}
+	if r, ok := s.layer.(stl.AppendResolver); ok {
+		s.resolver = r
+	}
+	if w, ok := s.layer.(stl.AppendWriter); ok {
+		s.writer = w
+	}
+	if pw, ok := s.layer.(stl.AppendPreviewer); ok {
+		s.prewrite = pw
+	}
+	if pv, ok := s.layer.(stl.Previewer); ok {
+		s.preview = pv
 	}
 	if cfg.translated() {
 		if cfg.Defrag != nil {
@@ -456,7 +482,14 @@ func (s *Simulator) stepWrite(rec trace.Record) {
 			return
 		}
 	}
-	for _, f := range s.layer.Write(rec.Extent) {
+	var placed []stl.Fragment
+	if s.writer != nil {
+		s.writeBuf = s.writer.WriteAppend(s.writeBuf[:0], rec.Extent)
+		placed = s.writeBuf
+	} else {
+		placed = s.layer.Write(rec.Extent)
+	}
+	for _, f := range placed {
 		// Host writes are not rolled back on an unrecovered fault: the
 		// translation already remapped the LBA, mirroring a drive that
 		// remaps and reports the failure upward. access records it.
@@ -473,7 +506,13 @@ func (s *Simulator) stepWrite(rec trace.Record) {
 
 func (s *Simulator) stepRead(rec trace.Record) {
 	s.stats.Reads++
-	frags := s.layer.Resolve(rec.Extent)
+	var frags []stl.Fragment
+	if s.resolver != nil {
+		s.fragBuf = s.resolver.ResolveAppend(s.fragBuf[:0], rec.Extent)
+		frags = s.fragBuf
+	} else {
+		frags = s.layer.Resolve(rec.Extent)
+	}
 	s.stats.TotalFragments += int64(len(frags))
 	if len(frags) > s.stats.MaxFragments {
 		s.stats.MaxFragments = len(frags)
@@ -556,8 +595,15 @@ func (s *Simulator) stepRead(rec trace.Record) {
 // without preview fall back to write-then-play; their unrecovered faults
 // are recorded but the remap stands.
 func (s *Simulator) relocate(lba geom.Extent) {
-	if pv, ok := s.layer.(stl.Previewer); ok {
-		for _, f := range pv.PreviewWrite(lba) {
+	if s.preview != nil {
+		var previewed []stl.Fragment
+		if s.prewrite != nil {
+			s.writeBuf = s.prewrite.PreviewWriteAppend(s.writeBuf[:0], lba)
+			previewed = s.writeBuf
+		} else {
+			previewed = s.preview.PreviewWrite(lba)
+		}
+		for _, f := range previewed {
 			if err := s.access(disk.Write, f.PhysExtent()); err != nil {
 				s.stats.Resilience.AbortedRelocations++
 				s.emitMech(MechAbortedRelocation, 0)
@@ -574,9 +620,21 @@ func (s *Simulator) relocate(lba geom.Extent) {
 				return
 			}
 		}
-		s.layer.Write(lba) // commit; the disk I/O was already played
+		// Commit; the disk I/O was already played.
+		if s.writer != nil {
+			s.writeBuf = s.writer.WriteAppend(s.writeBuf[:0], lba)
+		} else {
+			s.layer.Write(lba)
+		}
 	} else {
-		for _, f := range s.layer.Write(lba) {
+		var placed []stl.Fragment
+		if s.writer != nil {
+			s.writeBuf = s.writer.WriteAppend(s.writeBuf[:0], lba)
+			placed = s.writeBuf
+		} else {
+			placed = s.layer.Write(lba)
+		}
+		for _, f := range placed {
 			s.access(disk.Write, f.PhysExtent())
 		}
 	}

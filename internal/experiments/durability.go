@@ -32,8 +32,8 @@ func Durability(ctx context.Context, w io.Writer, scale float64) error {
 		if err != nil {
 			return err
 		}
-		recs := p.Generate(scale)
-		frontier := trace.MaxLBA(recs)
+		pl := preloaded(p, scale)
+		recs, frontier := pl.Records(), pl.MaxLBA()
 		variants := []struct {
 			label string
 			cfg   func() core.Config

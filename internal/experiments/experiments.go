@@ -32,7 +32,7 @@ func Table1(ctx context.Context, w io.Writer, scale float64) error {
 	tb := report.NewTable("Table I: workload characteristics (synthetic stand-ins)",
 		"workload", "source", "reads", "writes", "read GB", "written GB", "mean write KB", "OS (guest)")
 	for _, p := range catalogOrdered() {
-		recs := p.Generate(scale)
+		recs := preloaded(p, scale).Records()
 		c := trace.Characterize(recs)
 		tb.AddRow(p.Name, p.Source.String(),
 			report.HumanCount(c.ReadCount), report.HumanCount(c.WriteCount),
@@ -56,7 +56,7 @@ func Fig2Data(ctx context.Context, scale float64) ([]Fig2Row, error) {
 	rows := make([]Fig2Row, len(cat))
 	err := forEachIndexedCtx(ctx, len(cat), func(ctx context.Context, i int) error {
 		p := cat[i]
-		recs := p.Generate(scale)
+		recs := preloaded(p, scale).Records()
 		cmp, err := core.CompareContext(ctx, recs, core.Config{LogStructured: true})
 		if err != nil {
 			return err
@@ -107,7 +107,7 @@ func Fig3(ctx context.Context, w io.Writer, scale float64) error {
 		if err != nil {
 			return err
 		}
-		recs := p.Generate(scale)
+		recs := preloaded(p, scale).Records()
 		window := int64(len(recs)/48) + 1
 		ls, err := analysis.InstrumentedContext(ctx, recs, core.Config{LogStructured: true}, window)
 		if err != nil {
@@ -145,7 +145,7 @@ func Fig4(ctx context.Context, w io.Writer, scale float64) error {
 		if err != nil {
 			return err
 		}
-		recs := p.Generate(scale)
+		recs := preloaded(p, scale).Records()
 		nols, err := analysis.InstrumentedContext(ctx, recs, core.Config{}, 1000)
 		if err != nil {
 			return err
@@ -182,7 +182,7 @@ func Fig5(ctx context.Context, w io.Writer, scale float64) error {
 		if err != nil {
 			return err
 		}
-		recs := p.Generate(scale)
+		recs := preloaded(p, scale).Records()
 		art, err := analysis.InstrumentedContext(ctx, recs, core.Config{LogStructured: true}, 1000)
 		if err != nil {
 			return err
@@ -206,7 +206,7 @@ func Fig7(ctx context.Context, w io.Writer, scale float64) error {
 		if err != nil {
 			return err
 		}
-		recs := p.Generate(scale)
+		recs := preloaded(p, scale).Records()
 		prof := analysis.SequentialityProfile(recs)
 		fmt.Fprintf(w, "Figure 7 (%s): writes=%d ascending-adjacent=%d descending-adjacent=%d longest-descending-run=%d\n",
 			name, prof.Writes, prof.AscendingAdjacent, prof.DescendingAdjacent, prof.LongestDescending)
@@ -253,7 +253,7 @@ func Fig8(ctx context.Context, w io.Writer, scale float64) error {
 		if err != nil {
 			return err
 		}
-		recs := p.Generate(scale)
+		recs := preloaded(p, scale).Records()
 		res := analysis.MisorderedWrites(recs, 0)
 		tb.AddRow(name, report.HumanCount(res.Writes), report.HumanCount(res.Misordered),
 			fmt.Sprintf("%.2f%%", 100*res.Fraction()))
@@ -276,7 +276,7 @@ func Fig10(ctx context.Context, w io.Writer, scale float64) error {
 		if err != nil {
 			return err
 		}
-		recs := p.Generate(scale)
+		recs := preloaded(p, scale).Records()
 		art, err := analysis.InstrumentedContext(ctx, recs, core.Config{LogStructured: true}, 1000)
 		if err != nil {
 			return err
@@ -311,7 +311,7 @@ func Fig11Data(ctx context.Context, scale float64) ([]Fig11Row, error) {
 	rows := make([]Fig11Row, len(cat))
 	err := forEachIndexedCtx(ctx, len(cat), func(ctx context.Context, i int) error {
 		p := cat[i]
-		recs := p.Generate(scale)
+		recs := preloaded(p, scale).Records()
 		cmp, err := core.ComparePaperContext(ctx, recs)
 		if err != nil {
 			return err

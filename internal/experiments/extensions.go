@@ -64,8 +64,8 @@ func WAF(ctx context.Context, w io.Writer, scale float64) error {
 	tb := report.NewTable("Extension: translation-layer trade-off (read seeks vs write amplification)",
 		"workload", "layer", "read SAF", "total SAF", "WAF", "maint GB")
 	for _, p := range WAFProfiles() {
-		recs := p.Generate(scale)
-		frontier := trace.MaxLBA(recs)
+		pl := preloaded(p, scale)
+		recs, frontier := pl.Records(), pl.MaxLBA()
 
 		base, err := runWith(ctx, core.Config{}, recs)
 		if err != nil {
@@ -137,8 +137,8 @@ func TimeAmp(ctx context.Context, w io.Writer, scale float64) error {
 		if err != nil {
 			return err
 		}
-		recs := p.Generate(scale)
-		frontier := trace.MaxLBA(recs)
+		pl := preloaded(p, scale)
+		recs, frontier := pl.Records(), pl.MaxLBA()
 		baseStats, baseTime, err := timedRun(ctx, core.Config{}, recs, model)
 		if err != nil {
 			return err

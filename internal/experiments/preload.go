@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"sync"
+
+	"smrseek/internal/trace"
+	"smrseek/internal/workload"
+)
+
+// preloadKey identifies one generated workload arena: the same profile
+// at the same scale always yields the same records (generation is
+// seeded), so the records are shared, not regenerated.
+type preloadKey struct {
+	name  string
+	scale float64
+}
+
+// preloadCache memoizes workload arenas for the life of the process. An
+// "all" run touches most catalog workloads from several figures; without
+// the cache each figure regenerates (and rescans for MaxLBA) the same
+// multi-hundred-thousand-record traces.
+var preloadCache sync.Map // preloadKey -> *preloadEntry
+
+type preloadEntry struct {
+	once sync.Once
+	p    *trace.Preloaded
+}
+
+// preloaded returns the workload's records at the given scale as a
+// shared read-only arena, generating them at most once per process. The
+// LoadOrStore + Once pairing makes it race-safe under the parallel
+// figure runners without ever generating a trace twice.
+func preloaded(p workload.Profile, scale float64) *trace.Preloaded {
+	v, _ := preloadCache.LoadOrStore(preloadKey{name: p.Name, scale: scale}, &preloadEntry{})
+	e := v.(*preloadEntry)
+	e.once.Do(func() { e.p = trace.PreloadRecords(p.Generate(scale)) })
+	return e.p
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"smrseek/internal/trace"
+	"smrseek/internal/workload"
+)
+
+func TestPreloadedSharesArenaPerKey(t *testing.T) {
+	p, err := workload.ByName("w91")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := preloaded(p, 0.01)
+	if a != preloaded(p, 0.01) {
+		t.Error("same workload+scale returned a different arena (regenerated)")
+	}
+	if a == preloaded(p, 0.02) {
+		t.Error("different scales share one arena")
+	}
+	if want := trace.MaxLBA(a.Records()); a.MaxLBA() != want {
+		t.Errorf("cached MaxLBA %d, want %d", a.MaxLBA(), want)
+	}
+}
+
+func TestPreloadedConcurrentAccess(t *testing.T) {
+	p, err := workload.ByName("w55")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	arenas := make([]*trace.Preloaded, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arenas[i] = preloaded(p, 0.01)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if arenas[i] != arenas[0] {
+			t.Fatalf("concurrent callers got distinct arenas (%d vs 0)", i)
+		}
+	}
+}

@@ -24,10 +24,24 @@ func BenchmarkInsert(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	m := New()
 	frontier := int64(1 << 30)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := geom.Ext(rng.Int63n(1<<24), int64(1+rng.Intn(64)))
 		m.Insert(e, frontier)
+		frontier += e.Count
+	}
+}
+
+func BenchmarkInsertFunc(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := New()
+	frontier := int64(1 << 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := geom.Ext(rng.Int63n(1<<24), int64(1+rng.Intn(64)))
+		m.InsertFunc(e, frontier, nil)
 		frontier += e.Count
 	}
 }
@@ -37,8 +51,26 @@ func BenchmarkLookup(b *testing.B) {
 		m := buildMap(size)
 		rng := rand.New(rand.NewSource(3))
 		b.Run(itoa(size), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				m.Lookup(geom.Ext(rng.Int63n(1<<24), 256))
+			}
+		})
+	}
+}
+
+func BenchmarkLookupFunc(b *testing.B) {
+	for _, size := range []int{1000, 100000} {
+		m := buildMap(size)
+		rng := rand.New(rand.NewSource(3))
+		b.Run(itoa(size), func(b *testing.B) {
+			b.ReportAllocs()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				m.LookupFunc(geom.Ext(rng.Int63n(1<<24), 256), func(Resolved) bool {
+					n++
+					return true
+				})
 			}
 		})
 	}
@@ -47,6 +79,7 @@ func BenchmarkLookup(b *testing.B) {
 func BenchmarkFragments(b *testing.B) {
 	m := buildMap(100000)
 	rng := rand.New(rand.NewSource(4))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Fragments(geom.Ext(rng.Int63n(1<<24), 256))

@@ -46,6 +46,15 @@ type node struct {
 	height      int
 }
 
+// maxAVLHeight bounds the tree height for iterative traversals: an AVL
+// tree of n nodes is at most 1.44·log2(n) deep, so 96 levels cover far
+// more mappings than a 64-bit address space can hold.
+const maxAVLHeight = 96
+
+// nodeSlabSize is how many nodes one freelist refill allocates at once,
+// so a growing map costs one allocation per slab instead of per mapping.
+const nodeSlabSize = 64
+
 // Map is the extent map. The zero value is an empty map ready to use.
 type Map struct {
 	root *node
@@ -53,6 +62,17 @@ type Map struct {
 	// coalesce, when set, merges mappings that are adjacent in LBA space
 	// and contiguous in PBA space at Insert time, keeping the map minimal.
 	coalesce bool
+	// mapped caches the total mapped sector count so MappedSectors is
+	// O(1); insertNode/deleteStart keep it current and CheckInvariants
+	// cross-checks it against a direct tree fold.
+	mapped int64
+	// free is the node freelist (threaded through node.right): delete
+	// and split churn recycles nodes here instead of hitting the GC, and
+	// refills come in slabs of nodeSlabSize.
+	free *node
+	// scratch is the reusable overlap buffer for InsertFunc/Delete; it
+	// is why callbacks must not mutate the map re-entrantly.
+	scratch []Mapping
 }
 
 // New returns an empty extent map.
@@ -70,13 +90,18 @@ func NewCoalesced() *Map { return &Map{coalesce: true} }
 func (t *Map) Len() int { return t.n }
 
 // MappedSectors returns the total number of LBA sectors with a mapping.
-func (t *Map) MappedSectors() int64 {
-	var total int64
-	t.Walk(func(m Mapping) bool {
-		total += m.Lba.Count
-		return true
-	})
-	return total
+// The count is maintained incrementally on every insert and delete — no
+// walk, no invalidation to miss — so report tables can poll it as a
+// gauge; CheckInvariants cross-checks it against a direct tree fold.
+func (t *Map) MappedSectors() int64 { return t.mapped }
+
+// sumSectors is the direct tree fold behind the MappedSectors
+// cross-check: the recursion carries no closure state.
+func sumSectors(n *node) int64 {
+	if n == nil {
+		return 0
+	}
+	return sumSectors(n.left) + n.m.Lba.Count + sumSectors(n.right)
 }
 
 func h(n *node) int {
@@ -124,125 +149,188 @@ func balance(n *node) *node {
 	return n
 }
 
-// insertNode adds a mapping known not to overlap any existing mapping.
-func (t *Map) insertNode(m Mapping) {
-	t.root = insert(t.root, m)
-	t.n++
+// newNode takes a node from the freelist, refilling it with a fresh slab
+// when empty.
+func (t *Map) newNode(m Mapping) *node {
+	if t.free == nil {
+		slab := make([]node, nodeSlabSize)
+		for i := range slab[:len(slab)-1] {
+			slab[i].right = &slab[i+1]
+		}
+		t.free = &slab[0]
+	}
+	n := t.free
+	t.free = n.right
+	*n = node{m: m, height: 1}
+	return n
 }
 
-func insert(n *node, m Mapping) *node {
+// recycle returns a detached node to the freelist. The node must no
+// longer be reachable from the tree.
+func (t *Map) recycle(n *node) {
+	*n = node{right: t.free}
+	t.free = n
+}
+
+// insertNode adds a mapping known not to overlap any existing mapping.
+func (t *Map) insertNode(m Mapping) {
+	t.root = t.insert(t.root, m)
+	t.n++
+	t.mapped += m.Lba.Count
+}
+
+func (t *Map) insert(n *node, m Mapping) *node {
 	if n == nil {
-		return &node{m: m, height: 1}
+		return t.newNode(m)
 	}
 	if m.Lba.Start < n.m.Lba.Start {
-		n.left = insert(n.left, m)
+		n.left = t.insert(n.left, m)
 	} else {
-		n.right = insert(n.right, m)
+		n.right = t.insert(n.right, m)
 	}
 	return balance(n)
 }
 
-// deleteStart removes the mapping whose LBA start equals start.
-func (t *Map) deleteStart(start geom.Sector) {
+// deleteStart removes the mapping whose LBA start equals start; count is
+// its sector count (every caller holds the full mapping), used to keep
+// the MappedSectors cache current.
+func (t *Map) deleteStart(start geom.Sector, count int64) {
 	var deleted bool
-	t.root, deleted = del(t.root, start)
+	t.root, deleted = t.del(t.root, start)
 	if deleted {
 		t.n--
+		t.mapped -= count
 	}
 }
 
-func del(n *node, start geom.Sector) (*node, bool) {
+func (t *Map) del(n *node, start geom.Sector) (*node, bool) {
 	if n == nil {
 		return nil, false
 	}
 	var deleted bool
 	switch {
 	case start < n.m.Lba.Start:
-		n.left, deleted = del(n.left, start)
+		n.left, deleted = t.del(n.left, start)
 	case start > n.m.Lba.Start:
-		n.right, deleted = del(n.right, start)
+		n.right, deleted = t.del(n.right, start)
 	default:
 		deleted = true
 		if n.left == nil {
-			return n.right, true
+			r := n.right
+			t.recycle(n)
+			return r, true
 		}
 		if n.right == nil {
-			return n.left, true
+			l := n.left
+			t.recycle(n)
+			return l, true
 		}
-		// Replace with successor.
+		// Replace with successor; the recursion recycles the successor's
+		// node when it bottoms out in one of the cases above.
 		succ := n.right
 		for succ.left != nil {
 			succ = succ.left
 		}
 		n.m = succ.m
-		n.right, _ = del(n.right, succ.m.Lba.Start)
+		n.right, _ = t.del(n.right, succ.m.Lba.Start)
 	}
 	return balance(n), deleted
 }
 
-// overlapping collects, in ascending LBA order, every mapping that
-// overlaps the query extent.
-func (t *Map) overlapping(q geom.Extent) []Mapping {
+// visitOverlapping calls fn with every mapping overlapping q, in
+// ascending LBA order, stopping early when fn returns false; the return
+// value reports whether the walk ran to completion. The traversal is
+// iterative over a fixed-size stack, so it allocates nothing — the core
+// of the zero-allocation lookup path.
+//
+// Pruning relies on the disjointness invariant: mappings sorted by start
+// never overlap, so at most ONE mapping starts before q.Start yet
+// reaches into q (the predecessor of q.Start). A node starting below
+// q.Start therefore never has a left-subtree overlap — whether or not
+// it overlaps q itself — and a node starting at or past q.End() ends
+// the in-order walk.
+func (t *Map) visitOverlapping(q geom.Extent, fn func(Mapping) bool) bool {
 	if q.Empty() {
-		return nil
+		return true
 	}
-	var out []Mapping
-	collect(t.root, q, &out)
-	return out
+	var stack [maxAVLHeight]*node
+	top := 0
+	n := t.root
+	for {
+		for n != nil {
+			switch {
+			case n.m.Lba.Start >= q.Start:
+				stack[top] = n
+				top++
+				n = n.left
+			case n.m.Lba.End() > q.Start:
+				// Starts before q but reaches into it: visit it, skip
+				// its left subtree.
+				stack[top] = n
+				top++
+				n = nil
+			default:
+				n = n.right
+			}
+		}
+		if top == 0 {
+			return true
+		}
+		top--
+		nd := stack[top]
+		if nd.m.Lba.Start >= q.End() {
+			return true
+		}
+		if nd.m.Lba.Overlaps(q) && !fn(nd.m) {
+			return false
+		}
+		n = nd.right
+	}
 }
 
-func collect(n *node, q geom.Extent, out *[]Mapping) {
-	if n == nil {
+// overlapScratch fills t.scratch with the mappings overlapping q, in
+// ascending LBA order, so mutators can iterate a stable snapshot while
+// they restructure the tree. The buffer is reused across calls.
+func (t *Map) overlapScratch(q geom.Extent) []Mapping {
+	t.scratch = t.scratch[:0]
+	t.visitOverlapping(q, func(m Mapping) bool {
+		t.scratch = append(t.scratch, m)
+		return true
+	})
+	return t.scratch
+}
+
+// InsertFunc maps the LBA extent lba to the physical run starting at
+// pba, replacing any previous mapping of those sectors; overlapped
+// mappings are split or truncated so the disjointness invariant is
+// preserved. Each displaced piece — a portion of an older mapping that
+// lba overwrote, with its physical position — is passed to fn in
+// ascending LBA order; fn may be nil when the caller does not care. A
+// false return stops further notifications, but the insert itself
+// always completes. The Mapping value is only valid during the
+// callback, and fn must not mutate the map. This is the
+// allocation-free core of Insert.
+func (t *Map) InsertFunc(lba geom.Extent, pba geom.Sector, fn func(Mapping) bool) {
+	if lba.Empty() {
 		return
 	}
-	// In-order traversal pruned by key: mappings are disjoint and sorted
-	// by start, so the left subtree can only matter when the current key
-	// is above the query start... but a mapping starting below q.Start may
-	// still overlap q (it extends right). Since extents are disjoint, at
-	// most ONE mapping starts before q.Start yet overlaps it — the
-	// predecessor of q.Start. We handle that by descending left whenever
-	// the current start is >= q.Start, and also checking nodes that start
-	// before q.Start for overlap (then their left subtrees can be pruned
-	// only when the node itself starts below q.Start... a node starting
-	// below q.Start can still have a predecessor overlapping q? No:
-	// extents are disjoint, so if this node starts below q.Start and
-	// overlaps q, nothing to its left can reach q. If this node starts
-	// below q.Start and does NOT overlap q, nothing to its left can
-	// either.) Hence:
-	if n.m.Lba.Start >= q.Start {
-		collect(n.left, q, out)
-	}
-	if n.m.Lba.Overlaps(q) {
-		*out = append(*out, n.m)
-	}
-	if n.m.Lba.Start < q.End() {
-		collect(n.right, q, out)
-	}
-}
-
-// Insert maps the LBA extent lba to the physical run starting at pba,
-// replacing any previous mapping of those sectors. Overlapped mappings
-// are split or truncated so the disjointness invariant is preserved.
-// It returns the displaced pieces — the portions of older mappings that
-// lba overwrote, with their physical positions — which log-structured
-// layers use to decrement per-segment live counts.
-func (t *Map) Insert(lba geom.Extent, pba geom.Sector) []Mapping {
-	if lba.Empty() {
-		return nil
-	}
-	var displaced []Mapping
-	for _, old := range t.overlapping(lba) {
-		t.deleteStart(old.Lba.Start)
-		ov := old.Lba.Intersect(lba)
-		displaced = append(displaced, Mapping{
-			Lba: ov,
-			Pba: old.Pba + (ov.Start - old.Lba.Start),
-		})
-		for _, rest := range old.Lba.Subtract(lba) {
-			// The surviving piece keeps its original physical placement.
+	notify := fn != nil
+	for _, old := range t.overlapScratch(lba) {
+		t.deleteStart(old.Lba.Start, old.Lba.Count)
+		if notify {
+			ov := old.Lba.Intersect(lba)
+			notify = fn(Mapping{Lba: ov, Pba: old.Pba + (ov.Start - old.Lba.Start)})
+		}
+		// Surviving pieces keep their original physical placement; a
+		// mapping overlapping lba leaves at most a left and a right
+		// remainder.
+		if old.Lba.Start < lba.Start {
+			t.insertNode(Mapping{Lba: geom.Span(old.Lba.Start, lba.Start), Pba: old.Pba})
+		}
+		if old.Lba.End() > lba.End() {
 			t.insertNode(Mapping{
-				Lba: rest,
-				Pba: old.Pba + (rest.Start - old.Lba.Start),
+				Lba: geom.Span(lba.End(), old.Lba.End()),
+				Pba: old.Pba + (lba.End() - old.Lba.Start),
 			})
 		}
 	}
@@ -250,6 +338,16 @@ func (t *Map) Insert(lba geom.Extent, pba geom.Sector) []Mapping {
 	if t.coalesce {
 		t.coalesceAround(Mapping{Lba: lba, Pba: pba})
 	}
+}
+
+// Insert is InsertFunc collecting the displaced pieces into a fresh
+// slice — the convenient form for cold paths and tests.
+func (t *Map) Insert(lba geom.Extent, pba geom.Sector) []Mapping {
+	var displaced []Mapping
+	t.InsertFunc(lba, pba, func(m Mapping) bool {
+		displaced = append(displaced, m)
+		return true
+	})
 	return displaced
 }
 
@@ -260,24 +358,25 @@ func (t *Map) Insert(lba geom.Extent, pba geom.Sector) []Mapping {
 // sector on each side.
 func (t *Map) coalesceAround(m Mapping) {
 	lo, hi := m, m
-	for _, nb := range t.overlapping(geom.Ext(m.Lba.Start-1, m.Lba.Count+2)) {
+	t.visitOverlapping(geom.Ext(m.Lba.Start-1, m.Lba.Count+2), func(nb Mapping) bool {
 		if nb.Lba.End() == m.Lba.Start && nb.PhysEnd() == m.Pba {
 			lo = nb
 		}
 		if nb.Lba.Start == m.Lba.End() && m.PhysEnd() == nb.Pba {
 			hi = nb
 		}
-	}
+		return true
+	})
 	if lo == m && hi == m {
 		return
 	}
 	if lo != m {
-		t.deleteStart(lo.Lba.Start)
+		t.deleteStart(lo.Lba.Start, lo.Lba.Count)
 	}
 	if hi != m {
-		t.deleteStart(hi.Lba.Start)
+		t.deleteStart(hi.Lba.Start, hi.Lba.Count)
 	}
-	t.deleteStart(m.Lba.Start)
+	t.deleteStart(m.Lba.Start, m.Lba.Count)
 	t.insertNode(Mapping{Lba: geom.Span(lo.Lba.Start, hi.Lba.End()), Pba: lo.Pba})
 }
 
@@ -288,21 +387,94 @@ func (t *Map) Delete(lba geom.Extent) []Mapping {
 		return nil
 	}
 	var removed []Mapping
-	for _, old := range t.overlapping(lba) {
-		t.deleteStart(old.Lba.Start)
+	for _, old := range t.overlapScratch(lba) {
+		t.deleteStart(old.Lba.Start, old.Lba.Count)
 		ov := old.Lba.Intersect(lba)
 		removed = append(removed, Mapping{
 			Lba: ov,
 			Pba: old.Pba + (ov.Start - old.Lba.Start),
 		})
-		for _, rest := range old.Lba.Subtract(lba) {
+		if old.Lba.Start < lba.Start {
+			t.insertNode(Mapping{Lba: geom.Span(old.Lba.Start, lba.Start), Pba: old.Pba})
+		}
+		if old.Lba.End() > lba.End() {
 			t.insertNode(Mapping{
-				Lba: rest,
-				Pba: old.Pba + (rest.Start - old.Lba.Start),
+				Lba: geom.Span(lba.End(), old.Lba.End()),
+				Pba: old.Pba + (lba.End() - old.Lba.Start),
 			})
 		}
 	}
 	return removed
+}
+
+// resolveEmitter merges consecutive Resolved pieces that are contiguous
+// in both address spaces before handing each maximal fragment to fn. It
+// is the streaming equivalent of the old slice-building merge loop.
+type resolveEmitter struct {
+	fn   func(Resolved) bool
+	pend Resolved
+	have bool
+}
+
+// push stages r, flushing the pending fragment when r starts a new one;
+// it returns false once fn has stopped the walk.
+func (e *resolveEmitter) push(r Resolved) bool {
+	if e.have {
+		if e.pend.Lba.End() == r.Lba.Start && e.pend.Pba+e.pend.Lba.Count == r.Pba {
+			// Physically contiguous with the pending piece: same fragment.
+			e.pend.Lba.Count += r.Lba.Count
+			e.pend.Identity = e.pend.Identity && r.Identity
+			return true
+		}
+		if !e.fn(e.pend) {
+			e.have = false
+			return false
+		}
+	}
+	e.pend, e.have = r, true
+	return true
+}
+
+func (e *resolveEmitter) flush() {
+	if e.have {
+		e.fn(e.pend)
+	}
+}
+
+// LookupFunc resolves the LBA extent like Lookup but streams each
+// fragment to fn instead of building a slice, allocating nothing; a
+// false return from fn stops the resolution. The Resolved value is only
+// valid during the callback, and fn must not mutate the map.
+func (t *Map) LookupFunc(q geom.Extent, fn func(Resolved) bool) {
+	if q.Empty() {
+		return
+	}
+	em := resolveEmitter{fn: fn}
+	cur := q.Start
+	completed := t.visitOverlapping(q, func(m Mapping) bool {
+		if m.Lba.Start > cur {
+			gap := geom.Span(cur, m.Lba.Start)
+			if !em.push(Resolved{Lba: gap, Pba: gap.Start, Identity: true}) {
+				return false
+			}
+		}
+		ov := m.Lba.Intersect(q)
+		if !em.push(Resolved{Lba: ov, Pba: m.Pba + (ov.Start - m.Lba.Start)}) {
+			return false
+		}
+		cur = ov.End()
+		return true
+	})
+	if !completed {
+		return
+	}
+	if cur < q.End() {
+		gap := geom.Span(cur, q.End())
+		if !em.push(Resolved{Lba: gap, Pba: gap.Start, Identity: true}) {
+			return
+		}
+	}
+	em.flush()
 }
 
 // Lookup resolves the LBA extent into mappings, in ascending LBA order.
@@ -311,38 +483,16 @@ func (t *Map) Delete(lba geom.Extent) []Mapping {
 // corresponding to its LBA"). The pieces are maximal: consecutive pieces
 // that are contiguous in both LBA and PBA space are merged — so each
 // returned Resolved is one *fragment* and len(result) is the read's
-// dynamic fragmentation.
+// dynamic fragmentation. It is LookupFunc collecting into a fresh slice.
 func (t *Map) Lookup(q geom.Extent) []Resolved {
 	if q.Empty() {
 		return nil
 	}
 	var out []Resolved
-	emit := func(r Resolved) {
-		if n := len(out); n > 0 {
-			prev := &out[n-1]
-			if prev.Lba.End() == r.Lba.Start && prev.Pba+prev.Lba.Count == r.Pba {
-				// Physically contiguous with the previous piece: same fragment.
-				prev.Lba.Count += r.Lba.Count
-				prev.Identity = prev.Identity && r.Identity
-				return
-			}
-		}
+	t.LookupFunc(q, func(r Resolved) bool {
 		out = append(out, r)
-	}
-	cur := q.Start
-	for _, m := range t.overlapping(q) {
-		if m.Lba.Start > cur {
-			gap := geom.Span(cur, m.Lba.Start)
-			emit(Resolved{Lba: gap, Pba: gap.Start, Identity: true})
-		}
-		ov := m.Lba.Intersect(q)
-		emit(Resolved{Lba: ov, Pba: m.Pba + (ov.Start - m.Lba.Start)})
-		cur = ov.End()
-	}
-	if cur < q.End() {
-		gap := geom.Span(cur, q.End())
-		emit(Resolved{Lba: gap, Pba: gap.Start, Identity: true})
-	}
+		return true
+	})
 	return out
 }
 
@@ -357,8 +507,16 @@ type Resolved struct {
 func (r Resolved) PhysExtent() geom.Extent { return geom.Ext(r.Pba, r.Lba.Count) }
 
 // Fragments returns the number of physically-contiguous pieces a read of q
-// would touch — the paper's dynamic fragmentation of that read.
-func (t *Map) Fragments(q geom.Extent) int { return len(t.Lookup(q)) }
+// would touch — the paper's dynamic fragmentation of that read. It
+// counts via LookupFunc, so polling it never materializes a slice.
+func (t *Map) Fragments(q geom.Extent) int {
+	n := 0
+	t.LookupFunc(q, func(Resolved) bool {
+		n++
+		return true
+	})
+	return n
+}
 
 // Walk visits every mapping in ascending LBA order until fn returns false.
 func (t *Map) Walk(fn func(Mapping) bool) {
@@ -470,6 +628,9 @@ func (t *Map) CheckInvariants() error {
 	}
 	if count != t.n {
 		return fmt.Errorf("extmap: Len()=%d but walk saw %d", t.n, count)
+	}
+	if got := sumSectors(t.root); got != t.mapped {
+		return fmt.Errorf("extmap: MappedSectors()=%d but tree fold sums %d", t.mapped, got)
 	}
 	return nil
 }

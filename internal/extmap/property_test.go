@@ -214,7 +214,20 @@ func TestPropertyDifferential(t *testing.T) {
 					} else {
 						nextPba += lba.Count
 					}
-					got := flatten(m.Insert(lba, pba))
+					var got []sectorMapping
+					if i%2 == 0 {
+						// Drive the visitor API directly; Insert is its
+						// slice-collecting wrapper, so alternating covers
+						// both entry points differentially.
+						var pieces []Mapping
+						m.InsertFunc(lba, pba, func(p Mapping) bool {
+							pieces = append(pieces, p)
+							return true
+						})
+						got = flatten(pieces)
+					} else {
+						got = flatten(m.Insert(lba, pba))
+					}
 					want := ref.insert(lba, pba)
 					if !sectorsEqual(got, want) {
 						t.Fatalf("op %d: Insert(%v, %d) displaced %v, reference %v", i, lba, pba, got, want)
@@ -232,6 +245,25 @@ func TestPropertyDifferential(t *testing.T) {
 					want := ref.lookup(q)
 					if !resolvedEqual(got, want) {
 						t.Fatalf("op %d: Lookup(%v) = %v, reference %v", i, q, got, want)
+					}
+					var streamed []Resolved
+					m.LookupFunc(q, func(r Resolved) bool {
+						streamed = append(streamed, r)
+						return true
+					})
+					if !resolvedEqual(streamed, want) {
+						t.Fatalf("op %d: LookupFunc(%v) streamed %v, reference %v", i, q, streamed, want)
+					}
+					if len(want) > 1 {
+						// Early stop yields exactly the first fragment.
+						var first []Resolved
+						m.LookupFunc(q, func(r Resolved) bool {
+							first = append(first, r)
+							return false
+						})
+						if !resolvedEqual(first, want[:1]) {
+							t.Fatalf("op %d: LookupFunc(%v) early stop %v, want %v", i, q, first, want[:1])
+						}
 					}
 					if f := m.Fragments(q); f != len(want) {
 						t.Fatalf("op %d: Fragments(%v) = %d, reference %d", i, q, f, len(want))

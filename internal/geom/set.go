@@ -45,7 +45,9 @@ func (s *Set) search(start Sector) int {
 	return sort.Search(len(s.exts), func(i int) bool { return s.exts[i].End() > start })
 }
 
-// Add inserts e, merging with any overlapping or adjacent extents.
+// Add inserts e, merging with any overlapping or adjacent extents. It
+// shifts in place instead of rebuilding the slice, so a warm set absorbs
+// new extents without allocating.
 func (s *Set) Add(e Extent) {
 	if e.Empty() {
 		return
@@ -61,7 +63,26 @@ func (s *Set) Add(e Extent) {
 		j++
 	}
 	// Replace exts[i:j] with merged.
-	s.exts = append(s.exts[:i], append([]Extent{merged}, s.exts[j:]...)...)
+	switch {
+	case i == j: // pure insertion: open one slot at i
+		s.exts = append(s.exts, Extent{})
+		copy(s.exts[i+1:], s.exts[i:])
+		s.exts[i] = merged
+	default: // absorb the run: write merged at i, close the gap
+		s.exts[i] = merged
+		s.exts = append(s.exts[:i+1], s.exts[j:]...)
+	}
+}
+
+// OverlapsAny reports whether e overlaps at least one extent in the set,
+// without materializing the overlap (the allocation-free test behind
+// Covered-emptiness checks on hot paths).
+func (s *Set) OverlapsAny(e Extent) bool {
+	if e.Empty() {
+		return false
+	}
+	i := s.search(e.Start)
+	return i < len(s.exts) && s.exts[i].Start < e.End()
 }
 
 // Remove deletes e from the set, splitting extents as needed.

@@ -4,45 +4,51 @@
 // translation-aware selective cache and the prefetch buffer.
 package lru
 
-import "container/list"
-
 // EvictFunc is called with each entry removed by capacity pressure (not
 // by explicit Remove).
 type EvictFunc[K comparable, V any] func(key K, value V)
+
+// entry is an intrusive doubly-linked list node. Entries removed from
+// the cache are recycled through a freelist (threaded via next), so the
+// insert/evict churn of a long run stops allocating once the cache has
+// reached its working size.
+type entry[K comparable, V any] struct {
+	key        K
+	value      V
+	size       int64
+	prev, next *entry[K, V]
+}
 
 // Cache is a size-aware LRU. It is not safe for concurrent use; the
 // simulator is single-threaded by design (determinism).
 type Cache[K comparable, V any] struct {
 	capacity int64
 	used     int64
-	ll       *list.List
-	items    map[K]*list.Element
+	items    map[K]*entry[K, V]
+	root     entry[K, V] // sentinel: root.next is MRU, root.prev is LRU
+	free     *entry[K, V]
 	onEvict  EvictFunc[K, V]
 
 	hits, misses int64
 }
 
-type entry[K comparable, V any] struct {
-	key   K
-	value V
-	size  int64
-}
-
 // New returns a cache holding at most capacity bytes. A non-positive
 // capacity means the cache stores nothing (every Add evicts immediately).
 func New[K comparable, V any](capacity int64) *Cache[K, V] {
-	return &Cache[K, V]{
+	c := &Cache[K, V]{
 		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[K]*list.Element),
+		items:    make(map[K]*entry[K, V]),
 	}
+	c.root.prev = &c.root
+	c.root.next = &c.root
+	return c
 }
 
 // OnEvict registers a callback invoked for each capacity eviction.
 func (c *Cache[K, V]) OnEvict(fn EvictFunc[K, V]) { c.onEvict = fn }
 
 // Len returns the number of entries.
-func (c *Cache[K, V]) Len() int { return c.ll.Len() }
+func (c *Cache[K, V]) Len() int { return len(c.items) }
 
 // Used returns the summed size of all entries in bytes.
 func (c *Cache[K, V]) Used() int64 { return c.used }
@@ -56,12 +62,44 @@ func (c *Cache[K, V]) Hits() int64 { return c.hits }
 // Misses reports the number of Get calls that found nothing.
 func (c *Cache[K, V]) Misses() int64 { return c.misses }
 
+// unlink detaches e from the recency list.
+func (c *Cache[K, V]) unlink(e *entry[K, V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+// pushFront links e as most recently used.
+func (c *Cache[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = &c.root
+	e.next = c.root.next
+	e.next.prev = e
+	c.root.next = e
+}
+
+// newEntry takes an entry from the freelist or allocates one.
+func (c *Cache[K, V]) newEntry() *entry[K, V] {
+	if e := c.free; e != nil {
+		c.free = e.next
+		*e = entry[K, V]{}
+		return e
+	}
+	return &entry[K, V]{}
+}
+
+// recycle returns a detached entry to the freelist, dropping its key and
+// value so the cache does not pin them.
+func (c *Cache[K, V]) recycle(e *entry[K, V]) {
+	*e = entry[K, V]{next: c.free}
+	c.free = e
+}
+
 // Get returns the value for key and marks it most recently used.
 func (c *Cache[K, V]) Get(key K) (V, bool) {
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
+	if e, ok := c.items[key]; ok {
+		c.unlink(e)
+		c.pushFront(e)
 		c.hits++
-		return el.Value.(*entry[K, V]).value, true
+		return e.value, true
 	}
 	c.misses++
 	var zero V
@@ -70,8 +108,8 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 
 // Peek returns the value without touching recency or hit statistics.
 func (c *Cache[K, V]) Peek(key K) (V, bool) {
-	if el, ok := c.items[key]; ok {
-		return el.Value.(*entry[K, V]).value, true
+	if e, ok := c.items[key]; ok {
+		return e.value, true
 	}
 	var zero V
 	return zero, false
@@ -84,15 +122,19 @@ func (c *Cache[K, V]) Add(key K, value V, size int64) {
 	if size < 0 {
 		size = 0
 	}
-	if el, ok := c.items[key]; ok {
-		e := el.Value.(*entry[K, V])
+	if e, ok := c.items[key]; ok {
 		c.used += size - e.size
 		e.value = value
 		e.size = size
-		c.ll.MoveToFront(el)
+		c.unlink(e)
+		c.pushFront(e)
 	} else {
-		el := c.ll.PushFront(&entry[K, V]{key: key, value: value, size: size})
-		c.items[key] = el
+		e := c.newEntry()
+		e.key = key
+		e.value = value
+		e.size = size
+		c.pushFront(e)
+		c.items[key] = e
 		c.used += size
 	}
 	c.evictTo(c.capacity)
@@ -101,18 +143,18 @@ func (c *Cache[K, V]) Add(key K, value V, size int64) {
 // Remove deletes key if present and reports whether it was there. The
 // eviction callback is not invoked.
 func (c *Cache[K, V]) Remove(key K) bool {
-	el, ok := c.items[key]
+	e, ok := c.items[key]
 	if !ok {
 		return false
 	}
-	c.removeElement(el)
+	c.removeEntry(e)
 	return true
 }
 
 // Oldest returns the coldest key without disturbing recency.
 func (c *Cache[K, V]) Oldest() (K, bool) {
-	if el := c.ll.Back(); el != nil {
-		return el.Value.(*entry[K, V]).key, true
+	if e := c.root.prev; e != &c.root {
+		return e.key, true
 	}
 	var zero K
 	return zero, false
@@ -120,37 +162,49 @@ func (c *Cache[K, V]) Oldest() (K, bool) {
 
 // Keys returns all keys from most to least recently used.
 func (c *Cache[K, V]) Keys() []K {
-	out := make([]K, 0, c.ll.Len())
-	for el := c.ll.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*entry[K, V]).key)
+	return c.AppendKeys(make([]K, 0, len(c.items)))
+}
+
+// AppendKeys appends all keys, most to least recently used, to dst and
+// returns the extended slice — the buffer-reusing form of Keys for hot
+// paths that scan the cache repeatedly.
+func (c *Cache[K, V]) AppendKeys(dst []K) []K {
+	for e := c.root.next; e != &c.root; e = e.next {
+		dst = append(dst, e.key)
 	}
-	return out
+	return dst
 }
 
 // Clear drops every entry without invoking the eviction callback.
 func (c *Cache[K, V]) Clear() {
-	c.ll.Init()
-	c.items = make(map[K]*list.Element)
+	for e := c.root.next; e != &c.root; {
+		next := e.next
+		c.recycle(e)
+		e = next
+	}
+	c.root.prev = &c.root
+	c.root.next = &c.root
+	clear(c.items)
 	c.used = 0
 }
 
 func (c *Cache[K, V]) evictTo(limit int64) {
 	for c.used > limit {
-		el := c.ll.Back()
-		if el == nil {
+		e := c.root.prev
+		if e == &c.root {
 			return
 		}
-		e := el.Value.(*entry[K, V])
-		c.removeElement(el)
+		key, value := e.key, e.value
+		c.removeEntry(e)
 		if c.onEvict != nil {
-			c.onEvict(e.key, e.value)
+			c.onEvict(key, value)
 		}
 	}
 }
 
-func (c *Cache[K, V]) removeElement(el *list.Element) {
-	e := el.Value.(*entry[K, V])
-	c.ll.Remove(el)
+func (c *Cache[K, V]) removeEntry(e *entry[K, V]) {
+	c.unlink(e)
 	delete(c.items, e.key)
 	c.used -= e.size
+	c.recycle(e)
 }

@@ -129,12 +129,19 @@ func (l *Layer) Name() string { return "MediaCache" }
 // Resolve implements stl.Layer: unmerged updates resolve into the cache
 // region; everything else is at its LBA.
 func (l *Layer) Resolve(lba geom.Extent) []stl.Fragment {
-	rs := l.m.Lookup(lba)
-	out := make([]stl.Fragment, len(rs))
-	for i, r := range rs {
-		out[i] = stl.Fragment{Lba: r.Lba, Pba: r.Pba}
+	if lba.Empty() {
+		return nil
 	}
-	return out
+	return l.ResolveAppend(nil, lba)
+}
+
+// ResolveAppend implements stl.AppendResolver.
+func (l *Layer) ResolveAppend(dst []stl.Fragment, lba geom.Extent) []stl.Fragment {
+	l.m.LookupFunc(lba, func(r extmap.Resolved) bool {
+		dst = append(dst, stl.Fragment{Lba: r.Lba, Pba: r.Pba})
+		return true
+	})
+	return dst
 }
 
 // Write implements stl.Layer: the extent is appended to the media cache

@@ -53,6 +53,29 @@ type Previewer interface {
 	PreviewWrite(lba geom.Extent) []Fragment
 }
 
+// The Append* capability interfaces are the zero-allocation forms of
+// Layer and Previewer: each appends its fragments to a caller-provided
+// buffer (usually a per-simulator scratch slice, passed with length 0
+// and warm capacity) instead of allocating a fresh slice per operation.
+// Results must be identical to the slice-returning method element for
+// element; an empty extent appends nothing. The simulator detects these
+// at construction and prefers them on the per-access hot path.
+
+// AppendResolver is the buffer-reusing form of Layer.Resolve.
+type AppendResolver interface {
+	ResolveAppend(dst []Fragment, lba geom.Extent) []Fragment
+}
+
+// AppendWriter is the buffer-reusing form of Layer.Write.
+type AppendWriter interface {
+	WriteAppend(dst []Fragment, lba geom.Extent) []Fragment
+}
+
+// AppendPreviewer is the buffer-reusing form of Previewer.PreviewWrite.
+type AppendPreviewer interface {
+	PreviewWriteAppend(dst []Fragment, lba geom.Extent) []Fragment
+}
+
 // NoLS is the untranslated baseline: every LBA lives at PBA == LBA, and
 // writes update in place.
 type NoLS struct{}
@@ -74,6 +97,22 @@ func (*NoLS) Write(lba geom.Extent) []Fragment {
 		return nil
 	}
 	return []Fragment{{Lba: lba, Pba: lba.Start}}
+}
+
+// ResolveAppend implements AppendResolver.
+func (*NoLS) ResolveAppend(dst []Fragment, lba geom.Extent) []Fragment {
+	if lba.Empty() {
+		return dst
+	}
+	return append(dst, Fragment{Lba: lba, Pba: lba.Start})
+}
+
+// WriteAppend implements AppendWriter.
+func (*NoLS) WriteAppend(dst []Fragment, lba geom.Extent) []Fragment {
+	if lba.Empty() {
+		return dst
+	}
+	return append(dst, Fragment{Lba: lba, Pba: lba.Start})
 }
 
 // Name implements Layer.
@@ -99,15 +138,21 @@ func NewLS(frontierStart geom.Sector) *LS {
 
 // Resolve implements Layer.
 func (l *LS) Resolve(lba geom.Extent) []Fragment {
-	rs := l.m.Lookup(lba)
-	if len(rs) == 0 {
+	if lba.Empty() {
 		return nil
 	}
-	out := make([]Fragment, len(rs))
-	for i, r := range rs {
-		out[i] = Fragment{Lba: r.Lba, Pba: r.Pba}
-	}
-	return out
+	return l.ResolveAppend(nil, lba)
+}
+
+// ResolveAppend implements AppendResolver: fragments stream straight
+// from the extent map's visitor into dst, so a warm buffer makes the
+// resolution allocation-free.
+func (l *LS) ResolveAppend(dst []Fragment, lba geom.Extent) []Fragment {
+	l.m.LookupFunc(lba, func(r extmap.Resolved) bool {
+		dst = append(dst, Fragment{Lba: r.Lba, Pba: r.Pba})
+		return true
+	})
+	return dst
 }
 
 // Write implements Layer: the whole extent is appended at the frontier.
@@ -115,11 +160,20 @@ func (l *LS) Write(lba geom.Extent) []Fragment {
 	if lba.Empty() {
 		return nil
 	}
+	return l.WriteAppend(nil, lba)
+}
+
+// WriteAppend implements AppendWriter. Displaced mappings are dropped
+// without materializing (LS never reuses old log space).
+func (l *LS) WriteAppend(dst []Fragment, lba geom.Extent) []Fragment {
+	if lba.Empty() {
+		return dst
+	}
 	pba := l.frontier
-	l.m.Insert(lba, pba)
+	l.m.InsertFunc(lba, pba, nil)
 	l.frontier += lba.Count
 	l.written += lba.Count
-	return []Fragment{{Lba: lba, Pba: pba}}
+	return append(dst, Fragment{Lba: lba, Pba: pba})
 }
 
 // PreviewWrite implements Previewer: the whole extent would land at the
@@ -129,6 +183,14 @@ func (l *LS) PreviewWrite(lba geom.Extent) []Fragment {
 		return nil
 	}
 	return []Fragment{{Lba: lba, Pba: l.frontier}}
+}
+
+// PreviewWriteAppend implements AppendPreviewer.
+func (l *LS) PreviewWriteAppend(dst []Fragment, lba geom.Extent) []Fragment {
+	if lba.Empty() {
+		return dst
+	}
+	return append(dst, Fragment{Lba: lba, Pba: l.frontier})
 }
 
 // Name implements Layer.
@@ -148,7 +210,12 @@ func (l *LS) Map() *extmap.Map { return l.m }
 func (l *LS) Fragments(lba geom.Extent) int { return l.m.Fragments(lba) }
 
 var (
-	_ Layer     = (*NoLS)(nil)
-	_ Layer     = (*LS)(nil)
-	_ Previewer = (*LS)(nil)
+	_ Layer           = (*NoLS)(nil)
+	_ Layer           = (*LS)(nil)
+	_ Previewer       = (*LS)(nil)
+	_ AppendResolver  = (*NoLS)(nil)
+	_ AppendWriter    = (*NoLS)(nil)
+	_ AppendResolver  = (*LS)(nil)
+	_ AppendWriter    = (*LS)(nil)
+	_ AppendPreviewer = (*LS)(nil)
 )

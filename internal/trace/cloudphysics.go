@@ -28,16 +28,14 @@ const CPHeader = "# smrseek cloudphysics v1"
 
 // CPReader parses the CloudPhysics-style CSV defined above.
 type CPReader struct {
-	s    *bufio.Scanner
+	s    *lineScanner
 	err  error
 	line int
 }
 
 // NewCPReader returns a reader over CloudPhysics-style CSV input.
 func NewCPReader(r io.Reader) *CPReader {
-	s := bufio.NewScanner(r)
-	s.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	return &CPReader{s: s}
+	return &CPReader{s: newLineScanner(r)}
 }
 
 // Next implements Reader.

@@ -25,7 +25,7 @@ import (
 
 // MSRReader parses MSR Cambridge format traces.
 type MSRReader struct {
-	s    *bufio.Scanner
+	s    *lineScanner
 	err  error
 	line int
 	// DiskFilter, when >= 0, keeps only records for that disk number.
@@ -40,9 +40,7 @@ type MSRReader struct {
 // NewMSRReader returns a reader over MSR CSV input. diskFilter selects a
 // single disk number, or pass -1 to keep every disk.
 func NewMSRReader(r io.Reader, diskFilter int) *MSRReader {
-	s := bufio.NewScanner(r)
-	s.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	return &MSRReader{s: s, diskFilter: diskFilter}
+	return &MSRReader{s: newLineScanner(r), diskFilter: diskFilter}
 }
 
 // Next implements Reader.

@@ -1,0 +1,52 @@
+package trace
+
+import "smrseek/internal/geom"
+
+// Preloaded is a trace parsed once into a compact in-memory arena, for
+// replaying the same records through many simulator configurations
+// without re-reading or re-parsing the source. It caches MaxLBA so
+// per-run frontier placement does not rescan the records.
+type Preloaded struct {
+	recs   []Record
+	maxLBA geom.Sector
+}
+
+// Preload drains r into an arena. The reader's error, if any, is
+// returned and no arena is built.
+func Preload(r Reader) (*Preloaded, error) {
+	recs, err := ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return PreloadRecords(recs), nil
+}
+
+// PreloadRecords builds an arena over an in-memory record slice. A slice
+// with append slack (cap > len, as ReadAll's doubling growth leaves) is
+// copied into an exactly-sized array so the arena pins no dead capacity;
+// a tight slice is adopted as-is. Either way the records are shared with
+// the caller afterwards and must not be mutated.
+func PreloadRecords(recs []Record) *Preloaded {
+	if cap(recs) > len(recs) {
+		compact := make([]Record, len(recs))
+		copy(compact, recs)
+		recs = compact
+	}
+	return &Preloaded{recs: recs, maxLBA: MaxLBA(recs)}
+}
+
+// Records returns the arena's records, shared not copied — treat the
+// slice as read-only.
+func (p *Preloaded) Records() []Record { return p.recs }
+
+// Len returns the number of records in the arena.
+func (p *Preloaded) Len() int { return len(p.recs) }
+
+// MaxLBA returns the cached highest end LBA across the records (0 for
+// an empty trace).
+func (p *Preloaded) MaxLBA() geom.Sector { return p.maxLBA }
+
+// NewReader returns a fresh Reader positioned at the first record.
+// Readers are independent cursors over the shared arena, so concurrent
+// simulations can each replay the trace without copying it.
+func (p *Preloaded) NewReader() *SliceReader { return NewSliceReader(p.recs) }

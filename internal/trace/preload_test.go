@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+)
+
+func TestPreloadRecords(t *testing.T) {
+	// Grow a slice the way ReadAll does, so it carries capacity slack.
+	var recs []Record
+	for i := int64(0); i < 100; i++ {
+		recs = append(recs, Record{Time: i, Kind: disk.Read, Extent: geom.Ext(geom.Sector(i*10), 4)})
+	}
+	if cap(recs) == len(recs) {
+		t.Skip("append left no slack; compaction unobservable")
+	}
+	p := PreloadRecords(recs)
+	if p.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", p.Len())
+	}
+	if got := cap(p.Records()); got != 100 {
+		t.Errorf("arena capacity %d, want exactly 100 (slack clipped)", got)
+	}
+	if want := MaxLBA(recs); p.MaxLBA() != want {
+		t.Errorf("MaxLBA = %d, want %d", p.MaxLBA(), want)
+	}
+
+	// A tight slice is adopted without copying.
+	tight := make([]Record, 3)
+	copy(tight, recs)
+	pt := PreloadRecords(tight)
+	if &pt.Records()[0] != &tight[0] {
+		t.Error("tight slice was copied; want adoption in place")
+	}
+}
+
+func TestPreloadReadersAreIndependent(t *testing.T) {
+	in := CPHeader + "\n0,R,100,8\n1,W,200,16\n2,R,300,8\n"
+	p, err := Preload(NewCPReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", p.Len())
+	}
+	r1, r2 := p.NewReader(), p.NewReader()
+	a, _ := r1.Next()
+	b, _ := r1.Next()
+	c, _ := r2.Next() // must restart at the first record
+	if c != a || b == a {
+		t.Fatalf("readers share a cursor: r1 -> %v,%v; r2 -> %v", a, b, c)
+	}
+	n := 1
+	for {
+		if _, ok := r2.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("second reader yielded %d records, want 3", n)
+	}
+}
+
+func TestPreloadPropagatesReaderError(t *testing.T) {
+	if _, err := Preload(NewCPReader(strings.NewReader("garbage\n"))); err == nil {
+		t.Fatal("Preload accepted a malformed trace")
+	}
+}

@@ -78,16 +78,37 @@ func TestCPMalformedLines(t *testing.T) {
 }
 
 func TestScannerErrorsCarryLineNumbers(t *testing.T) {
-	// A line longer than the scanner's 1 MB cap triggers
-	// bufio.ErrTooLong, which used to surface without position info.
-	long := "1,host,0,Read,0,4096,0\n" + strings.Repeat("x", 2<<20)
+	// A line longer than the scanner cap triggers bufio.ErrTooLong,
+	// which used to surface without position info or any hint of what
+	// the offending bytes were.
+	long := "1,host,0,Read,0,4096,0\n" + strings.Repeat("x", scanMaxLine+16)
 	err := drain(t, NewMSRReader(strings.NewReader(long), -1))
 	if err == nil || !strings.Contains(err.Error(), "line 2") {
 		t.Errorf("MSR scanner error = %v, want line 2 context", err)
 	}
-	err = drain(t, NewCPReader(strings.NewReader(CPHeader+"\n"+strings.Repeat("y", 2<<20))))
+	if err != nil && !strings.Contains(err.Error(), `"xxxx`) {
+		t.Errorf("MSR scanner error = %v, want partial-line head", err)
+	}
+	err = drain(t, NewCPReader(strings.NewReader(CPHeader+"\n"+strings.Repeat("y", scanMaxLine+16))))
 	if err == nil || !strings.Contains(err.Error(), "line 2") {
 		t.Errorf("CP scanner error = %v, want line 2 context", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), `"yyyy`) {
+		t.Errorf("CP scanner error = %v, want partial-line head", err)
+	}
+}
+
+func TestScannerAcceptsMultiMegabyteLines(t *testing.T) {
+	// Lines past bufio's 64 KB default (and the old 1 MB cap) must parse,
+	// not silently truncate or fail: pad a valid CP record with a huge
+	// comment line before it.
+	in := CPHeader + "\n# " + strings.Repeat("c", 2<<20) + "\n7,R,100,8\n"
+	recs, err := ReadAll(NewCPReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Time != 7 {
+		t.Fatalf("got %v, want the single record after the long comment", recs)
 	}
 }
 

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	// scanInitBytes is the line scanner's initial buffer size.
+	scanInitBytes = 64 << 10
+	// scanMaxLine caps a single trace line. CSV exports concatenated by
+	// tools that strip newlines can produce lines far past bufio's 64 KB
+	// default, so the cap is explicit and generous; a line beyond it is
+	// almost certainly not line-oriented CSV at all.
+	scanMaxLine = 16 << 20
+)
+
+// lineScanner wraps bufio.Scanner with an explicitly grown buffer and a
+// recorded prefix of the line currently being assembled, so hitting the
+// line-size cap is reported with the head of the offending line instead
+// of a bare bufio.ErrTooLong with no indication of where or why.
+type lineScanner struct {
+	s       *bufio.Scanner
+	prefix  [48]byte
+	nprefix int
+}
+
+func newLineScanner(r io.Reader) *lineScanner {
+	l := &lineScanner{s: bufio.NewScanner(r)}
+	l.s.Buffer(make([]byte, 0, scanInitBytes), scanMaxLine)
+	l.s.Split(func(data []byte, atEOF bool) (advance int, token []byte, err error) {
+		advance, token, err = bufio.ScanLines(data, atEOF)
+		if advance == 0 && token == nil && err == nil && len(data) > 0 {
+			// More data requested with a line still unfinished: data
+			// starts at the pending line, so remember its head for the
+			// ErrTooLong diagnostic.
+			l.nprefix = copy(l.prefix[:], data)
+		}
+		return advance, token, err
+	})
+	return l
+}
+
+func (l *lineScanner) Scan() bool   { return l.s.Scan() }
+func (l *lineScanner) Text() string { return l.s.Text() }
+
+// Err returns the scanner's error. bufio.ErrTooLong is wrapped with the
+// configured cap and the partial line's head.
+func (l *lineScanner) Err() error {
+	err := l.s.Err()
+	if err != nil && errors.Is(err, bufio.ErrTooLong) && l.nprefix > 0 {
+		return fmt.Errorf("%w: line exceeds %d bytes (starts %q); is the file line-oriented CSV?",
+			err, scanMaxLine, l.prefix[:l.nprefix])
+	}
+	return err
+}

@@ -4,7 +4,8 @@
 #   scripts/bench.sh            # rewrite BENCH_baseline.json
 #   scripts/bench.sh compare    # run benchmarks, diff against the baseline
 #   scripts/bench.sh smoke      # CI gate: simulator + extent-map benchmarks
-#                               # at short benchtime, fail on >25% ns/op growth
+#                               # at short benchtime, fail on >25% ns/op or
+#                               # >25% allocs/op growth
 #
 # Run from the repo root. The experiment benchmarks self-scale (see
 # -benchscale in bench_test.go), so a full run takes a few minutes; the
@@ -19,12 +20,14 @@ trap 'rm -f "$tmp"' EXIT
 if [ "${1:-}" = smoke ]; then
 	# CI regression smoke: only the hot-path benchmarks (simulator
 	# throughput, extent map) at a short benchtime. Short runs are
-	# noisy, so the gate is wide — it catches structural regressions
-	# (an accidentally-always-on probe, an O(n) slip), not jitter.
-	go test -run='^$' -bench='^(BenchmarkSimulatorThroughput|BenchmarkInsert|BenchmarkLookup|BenchmarkFragments)$' \
-		-benchtime=0.3s -timeout 10m . ./internal/extmap |
+	# noisy, so the gates are wide — they catch structural regressions
+	# (an accidentally-always-on probe, an O(n) slip, a lost scratch
+	# buffer re-allocating per op), not jitter. allocs/op is gated too:
+	# it is deterministic, so even a short run flags real growth.
+	go test -run='^$' -bench='^(BenchmarkSimulatorThroughput|BenchmarkInsert|BenchmarkInsertFunc|BenchmarkLookup|BenchmarkLookupFunc|BenchmarkFragments)$' \
+		-benchtime=0.3s -benchmem -timeout 10m . ./internal/extmap |
 		go run ./scripts/benchjson >"$tmp"
-	go run ./scripts/benchjson -compare -gate 25 -match 'BenchmarkSimulator|internal/extmap' "$out" "$tmp"
+	go run ./scripts/benchjson -compare -gate 25 -gate-allocs 25 -match 'BenchmarkSimulator|internal/extmap' "$out" "$tmp"
 	exit 0
 fi
 

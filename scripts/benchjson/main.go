@@ -7,11 +7,16 @@
 //	go run ./scripts/benchjson -compare BENCH_baseline.json BENCH_new.json
 //	go run ./scripts/benchjson -compare -gate 25 -match 'Simulator|extmap' old.json new.json
 //
-// Compare prints one line per benchmark with the ns/op delta. By default
+// Compare prints one line per benchmark with the ns/op delta (and the
+// allocs/op delta where both baselines carry -benchmem data). By default
 // it exits nonzero only on malformed input — the output is for humans
 // reviewing a PR's perf trajectory. With -gate PCT it becomes a CI
 // gate: any benchmark (optionally filtered by -match against
 // "pkg.Name") whose ns/op grew by more than PCT percent fails the run.
+// -gate-allocs PCT gates allocs/op the same way; benchmarks whose old
+// baseline records 0 allocs/op are skipped by that gate (a 0 -> 1 step
+// is infinite in percent terms, and zero-alloc paths are pinned exactly
+// by the testing.AllocsPerRun tests instead).
 package main
 
 import (
@@ -47,7 +52,8 @@ type Baseline struct {
 func main() {
 	compare := flag.Bool("compare", false, "compare two baseline files instead of parsing stdin")
 	gate := flag.Float64("gate", 0, "with -compare: fail when any matched benchmark's ns/op grew by more than this percent (0 = report only)")
-	match := flag.String("match", "", `with -gate: regexp selecting the benchmarks to gate, matched against "pkg.Name" (empty = all)`)
+	gateAllocs := flag.Float64("gate-allocs", 0, "with -compare: fail when any matched benchmark's allocs/op grew by more than this percent (0 = report only; old-zero-alloc benchmarks are skipped)")
+	match := flag.String("match", "", `with -gate/-gate-allocs: regexp selecting the benchmarks to gate, matched against "pkg.Name" (empty = all)`)
 	flag.Parse()
 	var err error
 	if *compare {
@@ -61,7 +67,7 @@ func main() {
 		case flag.NArg() != 2:
 			err = fmt.Errorf("-compare wants exactly two baseline files, got %d", flag.NArg())
 		default:
-			err = runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), re, *gate)
+			err = runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), re, *gate, *gateAllocs)
 		}
 	} else {
 		err = runParse(os.Stdin, os.Stdout)
@@ -154,7 +160,7 @@ func parseBenchLine(line string) (Result, bool, error) {
 	return res, true, nil
 }
 
-func runCompare(out io.Writer, oldPath, newPath string, match *regexp.Regexp, gatePct float64) error {
+func runCompare(out io.Writer, oldPath, newPath string, match *regexp.Regexp, gatePct, gateAllocsPct float64) error {
 	oldB, err := loadBaseline(oldPath)
 	if err != nil {
 		return err
@@ -164,19 +170,21 @@ func runCompare(out io.Writer, oldPath, newPath string, match *regexp.Regexp, ga
 		return err
 	}
 	fmt.Fprint(out, FormatCompare(oldB, newB))
-	if gatePct > 0 {
-		if bad := Regressions(oldB, newB, match, gatePct); len(bad) > 0 {
-			return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%:\n  %s",
-				len(bad), gatePct, strings.Join(bad, "\n  "))
-		}
+	if bad := Regressions(oldB, newB, match, gatePct, gateAllocsPct); len(bad) > 0 {
+		return fmt.Errorf("%d benchmark metric(s) regressed past the gate:\n  %s",
+			len(bad), strings.Join(bad, "\n  "))
 	}
 	return nil
 }
 
 // Regressions returns a description of every benchmark present in both
 // baselines (and matching match, when non-nil) whose ns/op grew by more
-// than gatePct percent.
-func Regressions(oldB, newB Baseline, match *regexp.Regexp, gatePct float64) []string {
+// than gatePct percent or whose allocs/op grew by more than
+// gateAllocsPct percent. A gate of 0 disables that metric's check. The
+// allocs gate skips benchmarks whose old baseline shows 0 allocs/op:
+// those either predate -benchmem (no data) or are pinned exactly by
+// AllocsPerRun tests, and a percent delta from zero is meaningless.
+func Regressions(oldB, newB Baseline, match *regexp.Regexp, gatePct, gateAllocsPct float64) []string {
 	newByKey := map[string]Result{}
 	for _, r := range newB.Benchmarks {
 		newByKey[r.Pkg+"."+r.Name] = r
@@ -188,12 +196,20 @@ func Regressions(oldB, newB Baseline, match *regexp.Regexp, gatePct float64) []s
 			continue
 		}
 		n, ok := newByKey[k]
-		if !ok || o.NsPerOp <= 0 {
+		if !ok {
 			continue
 		}
-		if delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100; delta > gatePct {
-			bad = append(bad, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%%)",
-				k, o.NsPerOp, n.NsPerOp, delta))
+		if gatePct > 0 && o.NsPerOp > 0 {
+			if delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100; delta > gatePct {
+				bad = append(bad, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%%)",
+					k, o.NsPerOp, n.NsPerOp, delta))
+			}
+		}
+		if gateAllocsPct > 0 && o.AllocsPerOp > 0 {
+			if delta := float64(n.AllocsPerOp-o.AllocsPerOp) / float64(o.AllocsPerOp) * 100; delta > gateAllocsPct {
+				bad = append(bad, fmt.Sprintf("%s: %d -> %d allocs/op (%+.1f%%)",
+					k, o.AllocsPerOp, n.AllocsPerOp, delta))
+			}
 		}
 	}
 	return bad
@@ -228,7 +244,8 @@ func loadBaseline(path string) (Baseline, error) {
 }
 
 // FormatCompare renders the old→new ns/op movement for every benchmark
-// present in either baseline.
+// present in either baseline, with the allocs/op movement appended for
+// rows where either side recorded allocation data.
 func FormatCompare(oldB, newB Baseline) string {
 	type pair struct{ o, n *Result }
 	key := func(r Result) string { return r.Pkg + "." + r.Name }
@@ -261,8 +278,12 @@ func FormatCompare(oldB, newB Baseline) string {
 			if p.o.NsPerOp != 0 {
 				delta = (p.n.NsPerOp - p.o.NsPerOp) / p.o.NsPerOp * 100
 			}
-			fmt.Fprintf(&sb, "%-60s %12.1f -> %12.1f ns/op  %+6.1f%%\n",
+			fmt.Fprintf(&sb, "%-60s %12.1f -> %12.1f ns/op  %+6.1f%%",
 				k, p.o.NsPerOp, p.n.NsPerOp, delta)
+			if p.o.AllocsPerOp != 0 || p.n.AllocsPerOp != 0 {
+				fmt.Fprintf(&sb, "  %8d -> %8d allocs/op", p.o.AllocsPerOp, p.n.AllocsPerOp)
+			}
+			sb.WriteByte('\n')
 		}
 	}
 	return sb.String()

@@ -70,17 +70,23 @@ func TestParseRejectsGarbageNumbers(t *testing.T) {
 
 func TestFormatCompare(t *testing.T) {
 	oldB := Baseline{Benchmarks: []Result{
-		{Pkg: "p", Name: "BenchmarkA-8", NsPerOp: 100},
+		{Pkg: "p", Name: "BenchmarkA-8", NsPerOp: 100, AllocsPerOp: 40},
 		{Pkg: "p", Name: "BenchmarkGone-8", NsPerOp: 5},
 	}}
 	newB := Baseline{Benchmarks: []Result{
-		{Pkg: "p", Name: "BenchmarkA-8", NsPerOp: 150},
+		{Pkg: "p", Name: "BenchmarkA-8", NsPerOp: 150, AllocsPerOp: 4},
 		{Pkg: "p", Name: "BenchmarkNew-8", NsPerOp: 7},
 	}}
 	out := FormatCompare(oldB, newB)
-	for _, want := range []string{"+50.0%", "(gone", "(new)"} {
+	for _, want := range []string{"+50.0%", "(gone", "(new)", "allocs/op"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	// Rows with no allocation data on either side stay ns-only.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "BenchmarkGone") && strings.Contains(line, "allocs/op") {
+			t.Errorf("alloc column on a row without alloc data:\n%s", line)
 		}
 	}
 }
@@ -99,16 +105,44 @@ func TestRegressionsGate(t *testing.T) {
 	}}
 	match := regexp.MustCompile(`BenchmarkSimulator|extmap`)
 
-	bad := Regressions(oldB, newB, match, 25)
+	bad := Regressions(oldB, newB, match, 25, 0)
 	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkInsert") {
 		t.Errorf("Regressions = %v, want only the extmap insert", bad)
 	}
 	// The filter kept the lru blow-up out; without it, it gates too.
-	if bad := Regressions(oldB, newB, nil, 25); len(bad) != 2 {
+	if bad := Regressions(oldB, newB, nil, 25, 0); len(bad) != 2 {
 		t.Errorf("unfiltered Regressions = %v, want 2 entries", bad)
 	}
 	// Nothing over a huge gate; disappeared benchmarks never gate.
-	if bad := Regressions(oldB, newB, nil, 1000); len(bad) != 0 {
+	if bad := Regressions(oldB, newB, nil, 1000, 0); len(bad) != 0 {
 		t.Errorf("Regressions over 1000%% gate = %v, want none", bad)
+	}
+}
+
+func TestRegressionsAllocGate(t *testing.T) {
+	oldB := Baseline{Benchmarks: []Result{
+		{Pkg: "p", Name: "BenchmarkGrew", NsPerOp: 100, AllocsPerOp: 100},
+		{Pkg: "p", Name: "BenchmarkSteady", NsPerOp: 100, AllocsPerOp: 100},
+		{Pkg: "p", Name: "BenchmarkWasZero", NsPerOp: 100, AllocsPerOp: 0},
+	}}
+	newB := Baseline{Benchmarks: []Result{
+		{Pkg: "p", Name: "BenchmarkGrew", NsPerOp: 100, AllocsPerOp: 140},
+		{Pkg: "p", Name: "BenchmarkSteady", NsPerOp: 100, AllocsPerOp: 110},
+		{Pkg: "p", Name: "BenchmarkWasZero", NsPerOp: 100, AllocsPerOp: 50},
+	}}
+	bad := Regressions(oldB, newB, nil, 0, 25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkGrew") || !strings.Contains(bad[0], "allocs/op") {
+		t.Errorf("alloc Regressions = %v, want only BenchmarkGrew's allocs", bad)
+	}
+	// Both gates at once: an alloc regression and an ns regression on
+	// different benchmarks are both reported.
+	newB.Benchmarks[1].NsPerOp = 200
+	bad = Regressions(oldB, newB, nil, 25, 25)
+	if len(bad) != 2 {
+		t.Errorf("combined Regressions = %v, want ns and alloc entries", bad)
+	}
+	// Gate 0 disables the alloc check entirely.
+	if bad := Regressions(oldB, newB, nil, 0, 0); len(bad) != 0 {
+		t.Errorf("disabled gates still flagged %v", bad)
 	}
 }

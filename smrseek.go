@@ -88,6 +88,10 @@ type (
 	Record = trace.Record
 	// Reader yields trace records in temporal order.
 	Reader = trace.Reader
+	// Preloaded is a trace parsed once into a compact in-memory arena,
+	// replayable through many configurations without re-parsing (see
+	// PreloadTrace, PreloadRecords and RunPreloaded).
+	Preloaded = trace.Preloaded
 	// Characteristics is a Table-I style workload summary.
 	Characteristics = trace.Characteristics
 
@@ -161,6 +165,36 @@ func RunContext(ctx context.Context, cfg Config, recs []Record) (Stats, error) {
 		return Stats{}, err
 	}
 	return sim.RunContext(ctx, trace.NewSliceReader(recs))
+}
+
+// PreloadTrace drains a Reader into a Preloaded arena: the trace is
+// parsed once, its MaxLBA cached, and every subsequent run replays the
+// in-memory records. Preferred over ReadAll+Run when the same trace
+// feeds several configurations.
+func PreloadTrace(r Reader) (*Preloaded, error) { return trace.Preload(r) }
+
+// PreloadRecords builds a Preloaded arena over an in-memory slice,
+// clipping capacity slack. The records are shared afterwards and must
+// not be mutated.
+func PreloadRecords(recs []Record) *Preloaded { return trace.PreloadRecords(recs) }
+
+// RunPreloaded simulates a preloaded trace under the configuration. LS
+// configurations with FrontierStart == 0 get the frontier placed at the
+// arena's cached MaxLBA — no per-run rescan of the records.
+func RunPreloaded(cfg Config, p *Preloaded) (Stats, error) {
+	return RunPreloadedContext(context.Background(), cfg, p)
+}
+
+// RunPreloadedContext is RunPreloaded with cancellation.
+func RunPreloadedContext(ctx context.Context, cfg Config, p *Preloaded) (Stats, error) {
+	if cfg.LogStructured && cfg.FrontierStart == 0 {
+		cfg.FrontierStart = p.MaxLBA()
+	}
+	sim, err := core.NewSimulator(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return sim.RunContext(ctx, p.NewReader())
 }
 
 // Compare runs the records through the NoLS baseline and each variant,
