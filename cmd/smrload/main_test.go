@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+
+	"smrseek/internal/core"
+	"smrseek/internal/server"
+	"smrseek/internal/volume"
+)
+
+// startServer brings up an in-process smrd stack for the generator to
+// hit over real TCP.
+func startServer(t *testing.T, cfgs ...volume.Config) string {
+	t.Helper()
+	mgr, err := volume.OpenAll(cfgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		mgr.Close()
+		t.Fatal(err)
+	}
+	srv := server.New(mgr, ln, server.Options{Logf: t.Logf})
+	t.Cleanup(func() {
+		srv.Close()
+		mgr.Close()
+	})
+	return ln.Addr().String()
+}
+
+func lsConfig(name string) volume.Config {
+	return volume.Config{
+		Name: name,
+		Sim:  core.Config{LogStructured: true, FrontierStart: 1 << 22},
+	}
+}
+
+func TestLoadGeneratorReportsLatency(t *testing.T) {
+	addr := startServer(t, lsConfig("a"), lsConfig("b"))
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", addr, "-volumes", "a,b",
+		"-workload", "w91", "-scale", "0.01", "-conns", "4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"load summary", "ops/s", "p50", "p99", "replaying w91"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestLoadGeneratorThrottled(t *testing.T) {
+	addr := startServer(t, lsConfig("a"))
+	var out bytes.Buffer
+	// High QPS so the throttle path runs without slowing the test.
+	err := run([]string{
+		"-addr", addr, "-volumes", "a",
+		"-workload", "w91", "-scale", "0.005", "-conns", "2", "-qps", "200000",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "at 200000 qps") {
+		t.Errorf("throttle not reported:\n%s", out.String())
+	}
+}
+
+func TestLoadGeneratorFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-conns", "0"}, &out); err == nil {
+		t.Error("accepted -conns 0")
+	}
+	if err := run([]string{"-volumes", "a,,b"}, &out); err == nil {
+		t.Error("accepted empty volume name")
+	}
+	if _, _, err := loadTrace("", 1, "/no/such/file", "weird", -1); err == nil {
+		t.Error("accepted missing trace file")
+	}
+}

@@ -224,6 +224,14 @@ var globalProbe atomic.Pointer[Probe]
 // SetGlobalProbe attaches p to every simulator built after the call;
 // nil detaches. The probe must be safe for use across consecutive runs
 // (each run delivers its own Summary).
+//
+// The global probe is a single-run convenience for CLIs that build one
+// simulator at a time deep inside a pipeline (experiments, smrsim). It
+// is the WRONG tool when several simulators run concurrently in one
+// process — every volume's events would land in the same probe, and the
+// probe would need to be race-safe against all of them. Multi-tenant
+// hosts (internal/volume) must instead pass a per-simulator probe to
+// NewSimulator, which observes exactly one simulator.
 func SetGlobalProbe(p Probe) {
 	if p == nil {
 		globalProbe.Store(nil)

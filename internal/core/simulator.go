@@ -222,13 +222,18 @@ type Simulator struct {
 	resolver stl.AppendResolver
 	writer   stl.AppendWriter
 	prewrite stl.AppendPreviewer
-	preview  stl.Previewer // slice fallback for relocations
+	preview  stl.Previewer  // slice fallback for relocations
 	fragBuf  []stl.Fragment // read resolutions (also backs ReadEvent.Fragments)
 	writeBuf []stl.Fragment // write and relocation placements
 }
 
-// NewSimulator builds a simulator from the configuration.
-func NewSimulator(cfg Config) (*Simulator, error) {
+// NewSimulator builds a simulator from the configuration. Probes passed
+// here are attached before the global probe (SetGlobalProbe) and receive
+// only this simulator's events — the right way to observe one simulator
+// among many running concurrently in the same process (internal/volume
+// wires each volume's collector this way). The variadic form is
+// backward compatible: NewSimulator(cfg) builds an unobserved simulator.
+func NewSimulator(cfg Config, probes ...Probe) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -288,6 +293,9 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if cfg.Journal != nil {
 		s.wal = cfg.Journal.Log
 		s.ckptEvery = cfg.Journal.CheckpointEvery
+	}
+	for _, p := range probes {
+		s.AddProbe(p)
 	}
 	if gp := globalProbe.Load(); gp != nil {
 		s.AddProbe(*gp)

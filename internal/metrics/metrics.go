@@ -314,6 +314,45 @@ func CDFFromBuckets(buckets []Bucket, total int64) []Point {
 	return out
 }
 
+// Quantile returns the upper edge (Hi-1 for positive buckets, matching
+// CDFPoints' boundary sampling) of the first bucket at which the
+// cumulative count reaches q of the samples, walking buckets in
+// ascending value order. q is clamped to [0, 1]; an empty histogram
+// returns 0. The result over-estimates the true quantile by at most one
+// log2 bucket width — the usual bucketed-quantile trade, fine for the
+// load-generator latency percentiles it serves.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	need := int64(math.Ceil(q * float64(h.total)))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	var last int64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		switch {
+		case b.Negative:
+			last = -b.Lo
+		case b.Lo == 0:
+			last = 0
+		default:
+			last = b.Hi - 1
+		}
+		if cum >= need {
+			return last
+		}
+	}
+	return last
+}
+
 // CountWithin returns how many samples have |v| <= limit.
 func (h *Histogram) CountWithin(limit int64) int64 {
 	if limit < 0 {

@@ -135,6 +135,48 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %d", got)
+	}
+	// 100 samples of 10 (bucket [8,16)), 10 of 1000 (bucket [512,1024)).
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(0.5); got != 15 {
+		t.Errorf("Quantile(0.5) = %d, want 15 (upper edge of [8,16))", got)
+	}
+	if got := h.Quantile(0.90); got != 15 {
+		t.Errorf("Quantile(0.90) = %d, want 15", got)
+	}
+	if got := h.Quantile(0.99); got != 1023 {
+		t.Errorf("Quantile(0.99) = %d, want 1023 (upper edge of [512,1024))", got)
+	}
+	if got := h.Quantile(1); got != 1023 {
+		t.Errorf("Quantile(1) = %d, want 1023", got)
+	}
+	if got, want := h.Quantile(-1), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-1) = %d, want clamp to Quantile(0) = %d", got, want)
+	}
+	// Negative samples sort first: a heavily negative histogram's low
+	// quantiles are negative.
+	neg := NewHistogram()
+	for i := 0; i < 10; i++ {
+		neg.Observe(-100)
+	}
+	neg.Observe(7)
+	if got := neg.Quantile(0.5); got != -64 {
+		t.Errorf("negative Quantile(0.5) = %d, want -64 (boundary of (-128,-64])", got)
+	}
+	if got := neg.Quantile(1); got != 7 {
+		t.Errorf("negative Quantile(1) = %d, want 7", got)
+	}
+}
+
 func TestHistogramCountWithin(t *testing.T) {
 	h := NewHistogram()
 	for _, v := range []int64{0, 1, -1, 100, -100, 1 << 20} {

@@ -3,39 +3,106 @@ package obsv
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	hpprof "net/http/pprof"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
 
+// Registry maps volume names to collectors so one HTTP endpoint can
+// serve every volume of a multi-tenant process (smrd). A single-run CLI
+// serves an unnamed registry of one collector through Serve, which keeps
+// its historical bare-snapshot /metrics shape.
+type Registry struct {
+	mu    sync.RWMutex
+	names []string // registration order
+	cols  map[string]*Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{cols: make(map[string]*Collector)}
+}
+
+// Register adds a named collector. Registering a duplicate name or a
+// nil collector is an error; registration while serving is safe.
+func (r *Registry) Register(name string, c *Collector) error {
+	if c == nil {
+		return fmt.Errorf("obsv: nil collector for %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.cols[name]; dup {
+		return fmt.Errorf("obsv: collector %q already registered", name)
+	}
+	r.names = append(r.names, name)
+	r.cols[name] = c
+	return nil
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.names...)
+}
+
+// Get returns the named collector.
+func (r *Registry) Get(name string) (*Collector, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.cols[name]
+	return c, ok
+}
+
+// snapshot freezes the registry for serving: with exactly one collector
+// it returns that collector's bare Snapshot (the single-run CLI shape);
+// with several it returns a name-keyed object.
+func (r *Registry) snapshot() interface{} {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.names) == 1 {
+		return r.cols[r.names[0]].Snapshot()
+	}
+	all := make(map[string]Snapshot, len(r.names))
+	for name, c := range r.cols {
+		all[name] = c.Snapshot()
+	}
+	return all
+}
+
 // The expvar registry is global and Publish panics on duplicate names,
 // so the package publishes a single "smrseek" var once and redirects it
-// to whichever collector was served most recently. Tests and repeated
+// to whichever registry was served most recently. Tests and repeated
 // CLI runs in one process thus never collide.
 var (
 	pubOnce    sync.Once
-	currentVar atomic.Pointer[Collector]
+	currentReg atomic.Pointer[Registry]
 )
 
-func publishExpvar(c *Collector) {
-	currentVar.Store(c)
+func publishExpvar(r *Registry) {
+	currentReg.Store(r)
 	pubOnce.Do(func() {
 		expvar.Publish("smrseek", expvar.Func(func() interface{} {
-			if c := currentVar.Load(); c != nil {
-				return c.Snapshot()
+			if r := currentReg.Load(); r != nil {
+				return r.snapshot()
 			}
 			return nil
 		}))
 	})
 }
 
-// Server serves live introspection for one collector:
+// Server serves live introspection for a registry of collectors:
 //
-//	/metrics      the collector's Snapshot as JSON
-//	/debug/vars   standard expvar JSON (includes the "smrseek" var)
-//	/debug/pprof  net/http/pprof handlers (only when enabled)
+//	/metrics            one collector: its Snapshot as JSON;
+//	                    several: a {"name": Snapshot, ...} object
+//	/metrics?volume=x   the named collector's Snapshot (404 if absent)
+//	/volumes            the registered names as a JSON array
+//	/debug/vars         standard expvar JSON (includes the "smrseek" var)
+//	/debug/pprof        net/http/pprof handlers (only when enabled)
 //
 // The listener binds eagerly so the caller learns the bound address
 // (useful with ":0") and bind errors synchronously.
@@ -44,21 +111,49 @@ type Server struct {
 	srv *http.Server
 }
 
-// Serve binds addr and starts serving the collector. With pprof false
-// the /debug/pprof endpoints are absent — profiling costs nothing until
-// asked for.
+// Serve binds addr and starts serving a single collector — the
+// single-run CLI path, equivalent to ServeRegistry over a one-entry
+// unnamed registry.
 func Serve(addr string, c *Collector, pprof bool) (*Server, error) {
+	reg := NewRegistry()
+	if err := reg.Register("", c); err != nil {
+		return nil, err
+	}
+	return ServeRegistry(addr, reg, pprof)
+}
+
+// ServeRegistry binds addr and starts serving every collector in the
+// registry on one mux. With pprof false the /debug/pprof endpoints are
+// absent — profiling costs nothing until asked for.
+func ServeRegistry(addr string, reg *Registry, pprof bool) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	publishExpvar(c)
+	publishExpvar(reg)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		var payload interface{}
+		if name := req.URL.Query().Get("volume"); name != "" {
+			c, ok := reg.Get(name)
+			if !ok {
+				http.Error(w, fmt.Sprintf("unknown volume %q", name), http.StatusNotFound)
+				return
+			}
+			payload = c.Snapshot()
+		} else {
+			payload = reg.snapshot()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(c.Snapshot())
+		enc.Encode(payload)
+	})
+	mux.HandleFunc("/volumes", func(w http.ResponseWriter, _ *http.Request) {
+		names := reg.Names()
+		sort.Strings(names)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(names)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	if pprof {

@@ -84,3 +84,68 @@ func TestServer(t *testing.T) {
 		t.Errorf("second server /metrics: status %d", code)
 	}
 }
+
+func TestServeRegistryMultiVolume(t *testing.T) {
+	reg := obsv.NewRegistry()
+	a, b := obsv.NewCollector(), obsv.NewCollector()
+	a.OnOp(core.OpEvent{Kind: disk.Read, Lba: geom.Ext(0, 8), Frags: 2})
+	b.OnOp(core.OpEvent{Kind: disk.Write, Lba: geom.Ext(0, 8)})
+	b.OnOp(core.OpEvent{Kind: disk.Write, Lba: geom.Ext(8, 8)})
+	for name, c := range map[string]*obsv.Collector{"a": a, "b": b} {
+		if err := reg.Register(name, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Register("a", obsv.NewCollector()); err == nil {
+		t.Error("duplicate Register(a) succeeded, want error")
+	}
+	if err := reg.Register("c", nil); err == nil {
+		t.Error("Register(nil collector) succeeded, want error")
+	}
+
+	srv, err := obsv.ServeRegistry("127.0.0.1:0", reg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// No selector: a name-keyed object holding every volume.
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	var all map[string]obsv.Snapshot
+	if err := json.Unmarshal([]byte(body), &all); err != nil {
+		t.Fatalf("/metrics is not a name-keyed object: %v\n%s", err, body)
+	}
+	if all["a"].Reads != 1 || all["b"].Writes != 2 {
+		t.Errorf("aggregate metrics = %+v, want a:1 read, b:2 writes", all)
+	}
+
+	// ?volume= selects one collector's bare snapshot.
+	code, body = get(t, base+"/metrics?volume=b")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?volume=b: status %d", code)
+	}
+	var snap obsv.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("per-volume metrics is not a Snapshot: %v\n%s", err, body)
+	}
+	if snap.Writes != 2 {
+		t.Errorf("volume b snapshot = %+v, want 2 writes", snap)
+	}
+
+	if code, _ = get(t, base+"/metrics?volume=nope"); code != http.StatusNotFound {
+		t.Errorf("/metrics?volume=nope: status %d, want 404", code)
+	}
+
+	code, body = get(t, base+"/volumes")
+	if code != http.StatusOK {
+		t.Fatalf("/volumes: status %d", code)
+	}
+	var names []string
+	if err := json.Unmarshal([]byte(body), &names); err != nil || len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("/volumes = %q (err %v), want [a b]", body, err)
+	}
+}

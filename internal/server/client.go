@@ -1,0 +1,158 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"smrseek/internal/core"
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+	"smrseek/internal/trace"
+)
+
+// StatusError is a non-OK response from the server. Callers distinguish
+// backpressure (IsOverloaded) from hard failures by status code.
+type StatusError struct {
+	Status uint8
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("smrd: %s: %s", StatusName(e.Status), e.Msg)
+}
+
+// IsOverloaded reports whether err is the server's backpressure signal —
+// the request was shed, not executed, and may be retried.
+func IsOverloaded(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Status == StatusOverloaded
+}
+
+// Client is one synchronous smrd protocol connection. Not safe for
+// concurrent use; open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	buf  []byte // frame read scratch
+	out  []byte // request encode scratch
+}
+
+// Dial connects and performs the protocol handshake, retrying refused
+// connections briefly (the daemon may still be binding its listener).
+func Dial(addr string) (*Client, error) {
+	var (
+		conn net.Conn
+		err  error
+	)
+	for attempt := 0; attempt < 20; attempt++ {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("smrd: dial %s: %w", addr, err)
+	}
+	if err := handshake(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes the response status + body.
+func (c *Client) roundTrip(req request) ([]byte, error) {
+	out, err := appendRequest(c.out[:0], req)
+	if err != nil {
+		return nil, err
+	}
+	c.out = out
+	if _, err := c.conn.Write(out); err != nil {
+		return nil, fmt.Errorf("smrd: send: %w", err)
+	}
+	frame, err := readFrame(c.conn, c.buf)
+	if err != nil {
+		return nil, fmt.Errorf("smrd: recv: %w", err)
+	}
+	c.buf = frame
+	status, body := frame[0], frame[1:]
+	if status != StatusOK {
+		return nil, &StatusError{Status: status, Msg: string(body)}
+	}
+	return body, nil
+}
+
+// Write issues a logical write of ext on the named volume.
+func (c *Client) Write(vol string, ext geom.Extent) error {
+	_, err := c.roundTrip(request{Op: OpWrite, Volume: vol, Extent: ext})
+	return err
+}
+
+// Read issues a logical read of ext and returns the number of physical
+// fragments it resolved to — the paper's read-seek cost signal.
+func (c *Client) Read(vol string, ext geom.Extent) (int, error) {
+	body, err := c.roundTrip(request{Op: OpRead, Volume: vol, Extent: ext})
+	if err != nil {
+		return 0, err
+	}
+	if len(body) != 4 {
+		return 0, fmt.Errorf("smrd: read response body %d bytes, want 4", len(body))
+	}
+	return int(binary.LittleEndian.Uint32(body)), nil
+}
+
+// Stat returns the volume's live statistics. Stats.Config is zeroed by
+// the server (layer pointers do not cross the wire).
+func (c *Client) Stat(vol string) (core.Stats, error) {
+	body, err := c.roundTrip(request{Op: OpStat, Volume: vol})
+	if err != nil {
+		return core.Stats{}, err
+	}
+	var st core.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return core.Stats{}, fmt.Errorf("smrd: stat decode: %w", err)
+	}
+	return st, nil
+}
+
+// Snapshot forces a journal checkpoint on the volume.
+func (c *Client) Snapshot(vol string) error {
+	_, err := c.roundTrip(request{Op: OpSnapshot, Volume: vol})
+	return err
+}
+
+// Step sends one trace record as the matching read/write request and
+// returns a read's fragment count (0 for writes).
+func (c *Client) Step(vol string, rec trace.Record) (int, error) {
+	switch rec.Kind {
+	case disk.Write:
+		return 0, c.Write(vol, rec.Extent)
+	case disk.Read:
+		return c.Read(vol, rec.Extent)
+	default:
+		return 0, fmt.Errorf("smrd: unsupported record kind %v", rec.Kind)
+	}
+}
+
+// Replay streams every record of r to the named volume in order and
+// returns the op count. Each record blocks on its response, so the
+// volume executes the trace in exactly this order.
+func (c *Client) Replay(vol string, r trace.Reader) (int64, error) {
+	var n int64
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			return n, r.Err()
+		}
+		if _, err := c.Step(vol, rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

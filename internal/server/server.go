@@ -1,0 +1,243 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"smrseek/internal/core"
+	"smrseek/internal/fault"
+	"smrseek/internal/journal"
+	"smrseek/internal/volume"
+)
+
+// Options tunes the server; the zero value is usable.
+type Options struct {
+	// RequestTimeout bounds one request's execution once admitted to a
+	// volume queue (0 = no bound). On expiry the client gets
+	// StatusTimeout and the connection is closed: the request is still
+	// queued and will execute, so the connection's synchronous ordering
+	// guarantee no longer holds.
+	RequestTimeout time.Duration
+	// Logf receives connection-level diagnostics (nil = log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Server accepts smrd protocol connections and executes their requests
+// against a volume.Manager. One goroutine per connection; each volume's
+// actor serializes execution, so any number of connections is safe.
+type Server struct {
+	mgr  *volume.Manager
+	opts Options
+	ln   net.Listener
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// New builds a server over mgr and starts accepting on ln. It takes
+// ownership of ln.
+func New(mgr *volume.Manager, ln net.Listener, opts Options) *Server {
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		mgr:    mgr,
+		opts:   opts,
+		ln:     ln,
+		ctx:    ctx,
+		cancel: cancel,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, closes every live connection and waits for the
+// handlers to exit. It does NOT close the manager: the caller owns
+// volume shutdown ordering (server first, then manager, so no request
+// can race a closing volume).
+func (s *Server) Close() error {
+	s.cancel()
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.ctx.Err() == nil {
+				s.opts.Logf("smrd: accept: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	if err := handshake(conn); err != nil {
+		s.opts.Logf("smrd: %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	// Per-connection scratch, reused across requests: frame buffer,
+	// response buffer, and the result channel handed to volume.TryDo.
+	// cap 1 so a timed-out request's late result parks in the buffer
+	// instead of blocking the volume actor.
+	var (
+		buf  []byte
+		out  []byte
+		done = make(chan volume.Result, 1)
+	)
+	for {
+		frame, err := readFrame(conn, buf)
+		if err != nil {
+			if s.ctx.Err() == nil && !isClosedConn(err) {
+				s.opts.Logf("smrd: %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		buf = frame
+		resp, ok := s.handle(out[:0], frame, done)
+		out = resp
+		if _, err := conn.Write(resp); err != nil {
+			return
+		}
+		if !ok {
+			// The request may still execute later (timeout): this
+			// connection's ordering guarantee is gone, so drop it.
+			return
+		}
+	}
+}
+
+// handle executes one request frame and appends the response to out.
+// ok=false means the connection must close (and a fresh done channel
+// would be needed, so the caller drops the connection instead).
+func (s *Server) handle(out, frame []byte, done chan volume.Result) ([]byte, bool) {
+	req, err := parseRequest(frame)
+	if err != nil {
+		return appendResponse(out, StatusBadRequest, []byte(err.Error())), true
+	}
+	vol, ok := s.mgr.Get(req.Volume)
+	if !ok {
+		return appendResponse(out, StatusUnknownVolume, []byte("unknown volume "+req.Volume)), true
+	}
+	var kind volume.Op
+	switch req.Op {
+	case OpWrite:
+		kind = volume.OpWrite
+	case OpRead:
+		kind = volume.OpRead
+	case OpStat:
+		kind = volume.OpStat
+	case OpSnapshot:
+		kind = volume.OpSnapshot
+	}
+	if err := vol.TryDo(volume.Request{Kind: kind, Extent: req.Extent}, done); err != nil {
+		return appendResponse(out, statusOf(err), []byte(err.Error())), true
+	}
+	var timeout <-chan time.Time
+	if s.opts.RequestTimeout > 0 {
+		t := time.NewTimer(s.opts.RequestTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case res := <-done:
+		if res.Err != nil {
+			return appendResponse(out, statusOf(res.Err), []byte(res.Err.Error())), true
+		}
+		return appendOK(out, req.Op, res), true
+	case <-timeout:
+		msg := fmt.Sprintf("request exceeded %v", s.opts.RequestTimeout)
+		return appendResponse(out, StatusTimeout, []byte(msg)), false
+	case <-s.ctx.Done():
+		return appendResponse(out, StatusInternal, []byte("server shutting down")), false
+	}
+}
+
+// appendOK encodes a successful result's op-specific body.
+func appendOK(out []byte, op uint8, res volume.Result) []byte {
+	switch op {
+	case OpRead:
+		var body [4]byte
+		binary.LittleEndian.PutUint32(body[:], uint32(res.Frags))
+		return appendResponse(out, StatusOK, body[:])
+	case OpStat:
+		// Config holds layer pointers and interfaces that neither
+		// marshal round-trip nor mean anything to a remote client; zero
+		// it so the wire Stats is pure counters.
+		st := *res.Stats
+		st.Config = core.Config{}
+		body, err := json.Marshal(&st)
+		if err != nil {
+			return appendResponse(out, StatusInternal, []byte(err.Error()))
+		}
+		return appendResponse(out, StatusOK, body)
+	default:
+		return appendResponse(out, StatusOK, nil)
+	}
+}
+
+// statusOf maps volume/journal/fault errors onto wire status codes.
+func statusOf(err error) uint8 {
+	switch {
+	case errors.Is(err, volume.ErrOverloaded):
+		return StatusOverloaded
+	case errors.Is(err, volume.ErrClosed):
+		return StatusInternal
+	case errors.Is(err, volume.ErrNoJournal):
+		return StatusNoJournal
+	case errors.Is(err, journal.ErrCrashed):
+		return StatusCrashed
+	case fault.IsMedia(err):
+		return StatusMediaError
+	case fault.IsTransient(err):
+		return StatusTransient
+	default:
+		return StatusInternal
+	}
+}
+
+// isClosedConn reports whether err is the normal end of a connection:
+// clean EOF or a read racing our own Close.
+func isClosedConn(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}

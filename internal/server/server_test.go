@@ -1,0 +1,329 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"smrseek/internal/core"
+	"smrseek/internal/geom"
+	"smrseek/internal/volume"
+)
+
+// newTestServer starts a server over freshly opened volumes and returns
+// it with its dial address. Everything is torn down with the test.
+func newTestServer(t *testing.T, opts Options, cfgs ...volume.Config) (*Server, *volume.Manager, string) {
+	t.Helper()
+	mgr, err := volume.OpenAll(cfgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		mgr.Close()
+		t.Fatal(err)
+	}
+	opts.Logf = t.Logf
+	srv := New(mgr, ln, opts)
+	t.Cleanup(func() {
+		srv.Close()
+		mgr.Close()
+	})
+	return srv, mgr, ln.Addr().String()
+}
+
+func lsConfig(name string) volume.Config {
+	return volume.Config{
+		Name: name,
+		Sim:  core.Config{LogStructured: true, FrontierStart: 1 << 20},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	cases := []request{
+		{Op: OpWrite, Volume: "v0", Extent: geom.Ext(12345, 64)},
+		{Op: OpRead, Volume: "a-much-longer-volume-name", Extent: geom.Ext(0, 1)},
+		{Op: OpStat, Volume: "v"},
+		{Op: OpSnapshot, Volume: "v"},
+	}
+	for _, want := range cases {
+		frame, err := appendRequest(nil, want)
+		if err != nil {
+			t.Fatalf("append %+v: %v", want, err)
+		}
+		// Strip the length prefix, as the server-side read loop does.
+		n := binary.LittleEndian.Uint32(frame)
+		if int(n) != len(frame)-4 {
+			t.Fatalf("length prefix %d, frame body %d", n, len(frame)-4)
+		}
+		got, err := parseRequest(frame[4:])
+		if err != nil {
+			t.Fatalf("parse %+v: %v", want, err)
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestWireRejectsMalformed(t *testing.T) {
+	bad := [][]byte{
+		{},                         // too short
+		{OpWrite},                  // no vlen
+		{OpWrite, 5, 'a'},          // truncated name
+		{OpWrite, 1, 'a', 1, 2, 3}, // truncated extent
+		{OpStat, 1, 'a', 0},        // trailing bytes on stat
+		{99, 0},                    // unknown op
+	}
+	for _, p := range bad {
+		if _, err := parseRequest(p); err == nil {
+			t.Errorf("parseRequest(%v) accepted malformed frame", p)
+		}
+	}
+	if _, err := appendRequest(nil, request{Op: OpStat, Volume: strings.Repeat("x", 300)}); err == nil {
+		t.Error("appendRequest accepted an over-long volume name")
+	}
+}
+
+func TestStatusName(t *testing.T) {
+	if got := StatusName(StatusOverloaded); got != "overloaded" {
+		t.Errorf("StatusName(StatusOverloaded) = %q", got)
+	}
+	if got := StatusName(200); got != "status(200)" {
+		t.Errorf("StatusName(200) = %q", got)
+	}
+}
+
+func TestServerReadWriteStat(t *testing.T) {
+	_, _, addr := newTestServer(t, Options{}, lsConfig("v0"))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Two non-adjacent writes separated by an interleaved one land at
+	// split log positions, so the spanning read resolves to 2 fragments.
+	for _, ext := range []geom.Extent{geom.Ext(0, 8), geom.Ext(100, 8), geom.Ext(8, 8)} {
+		if err := c.Write("v0", ext); err != nil {
+			t.Fatalf("Write(%v): %v", ext, err)
+		}
+	}
+	frags, err := c.Read("v0", geom.Ext(0, 16))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if frags != 2 {
+		t.Errorf("Read frags = %d, want 2", frags)
+	}
+	st, err := c.Stat("v0")
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if st.Writes != 3 || st.Reads != 1 {
+		t.Errorf("Stat counts writes=%d reads=%d, want 3/1", st.Writes, st.Reads)
+	}
+	if !reflectZero(st.Config) {
+		t.Error("Stat carried a non-zero Config across the wire")
+	}
+}
+
+func reflectZero(c core.Config) bool { return c == (core.Config{}) }
+
+func TestServerUnknownVolumeAndNoJournal(t *testing.T) {
+	_, _, addr := newTestServer(t, Options{}, lsConfig("v0"))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.Write("nope", geom.Ext(0, 8))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != StatusUnknownVolume {
+		t.Errorf("write to unknown volume: err = %v, want StatusUnknownVolume", err)
+	}
+	// The connection must survive an error response.
+	if err := c.Write("v0", geom.Ext(0, 8)); err != nil {
+		t.Fatalf("Write after error response: %v", err)
+	}
+	err = c.Snapshot("v0")
+	if !errors.As(err, &se) || se.Status != StatusNoJournal {
+		t.Errorf("Snapshot without journal: err = %v, want StatusNoJournal", err)
+	}
+}
+
+// rawDial opens a handshaken connection for hand-crafted frames.
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if err := handshake(conn); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func TestServerRejectsBadFrames(t *testing.T) {
+	_, _, addr := newTestServer(t, Options{}, lsConfig("v0"))
+
+	// Malformed request payload: error response, connection stays up.
+	conn := rawDial(t, addr)
+	if _, err := conn.Write(appendResponse(nil, 99, nil)); err != nil { // op 99, no vlen
+		t.Fatal(err)
+	}
+	frame, err := readFrame(conn, nil)
+	if err != nil {
+		t.Fatalf("readFrame after bad op: %v", err)
+	}
+	if frame[0] != StatusBadRequest {
+		t.Errorf("bad op status = %s, want bad-request", StatusName(frame[0]))
+	}
+
+	// Oversize frame: the server drops the connection without reading it.
+	conn2 := rawDial(t, addr)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := conn2.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadAll(conn2); err != nil {
+		t.Fatalf("expected clean close after oversize frame, got %v", err)
+	}
+
+	// Bad handshake magic: dropped before any frame.
+	conn3, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	if _, err := conn3.Write([]byte("NOPE\x01")); err != nil {
+		t.Fatal(err)
+	}
+	conn3.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf, _ := io.ReadAll(conn3)
+	if len(buf) > len(Magic)+1 {
+		t.Errorf("server kept talking (%d bytes) after bad magic", len(buf))
+	}
+}
+
+// stallVolume blocks v's actor by handing it a request whose result
+// channel is already full, then fills the queue with one parked request.
+// The returned release function unblocks everything.
+func stallVolume(t *testing.T, v *volume.Volume) (release func()) {
+	t.Helper()
+	stall := make(chan volume.Result, 1)
+	stall <- volume.Result{} // actor will block delivering into this
+	if err := v.TryDo(volume.Request{Kind: volume.OpStat}, stall); err != nil {
+		t.Fatal(err)
+	}
+	// Once the actor has dequeued the stall request it blocks, freeing
+	// the single queue slot; park a second request there.
+	parked := make(chan volume.Result, 1)
+	for {
+		err := v.TryDo(volume.Request{Kind: volume.OpStat}, parked)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, volume.ErrOverloaded) {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return func() {
+		<-stall // actor's blocked send completes; queue drains
+	}
+}
+
+func TestServerBackpressure(t *testing.T) {
+	cfg := lsConfig("v0")
+	cfg.QueueDepth = 1
+	_, mgr, addr := newTestServer(t, Options{}, cfg)
+	v, _ := mgr.Get("v0")
+	release := stallVolume(t, v)
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Write("v0", geom.Ext(0, 8))
+	if !IsOverloaded(err) {
+		t.Errorf("write to saturated volume: err = %v, want overloaded", err)
+	}
+	release()
+	// After draining, the same connection works again.
+	if err := c.Write("v0", geom.Ext(0, 8)); err != nil {
+		t.Fatalf("Write after release: %v", err)
+	}
+}
+
+func TestServerRequestTimeout(t *testing.T) {
+	_, mgr, addr := newTestServer(t, Options{RequestTimeout: 30 * time.Millisecond}, lsConfig("v0"))
+	v, _ := mgr.Get("v0")
+	release := stallVolume(t, v)
+	defer release()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Write("v0", geom.Ext(0, 8))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != StatusTimeout {
+		t.Fatalf("stalled write: err = %v, want StatusTimeout", err)
+	}
+	// The server closed the connection after the timeout: ordering on
+	// this connection is no longer guaranteed.
+	release()
+	if err := c.Write("v0", geom.Ext(0, 8)); err == nil {
+		t.Error("connection survived a timeout, want closed")
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	_, _, addr := newTestServer(t, Options{}, lsConfig("a"), lsConfig("b"))
+	const clients = 4
+	errc := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		vol := "a"
+		if i%2 == 1 {
+			vol = "b"
+		}
+		go func(vol string, seed int64) {
+			c, err := Dial(addr)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer c.Close()
+			for op := int64(0); op < 200; op++ {
+				ext := geom.Ext(geom.Sector((seed*1000+op*8)%100000), 8)
+				if op%4 == 3 {
+					if _, err := c.Read(vol, ext); err != nil {
+						errc <- err
+						return
+					}
+				} else if err := c.Write(vol, ext); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(vol, int64(i))
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package server exposes a volume.Manager over TCP with a compact
+// length-prefixed binary protocol (read/write/stat/snapshot per volume),
+// and provides the matching client library used by cmd/smrload and the
+// end-to-end tests. The record layout is documented in docs/FORMATS.md.
+//
+// Every connection is synchronous: one request frame, one response
+// frame, in order. Concurrency comes from connections, not pipelining —
+// which keeps per-volume ordering exactly the per-connection send order,
+// the property the determinism acceptance test pins down.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"smrseek/internal/geom"
+)
+
+// Protocol constants.
+const (
+	// Magic + version exchanged once per connection, client first.
+	Magic   = "SMRD"
+	Version = 1
+
+	// MaxFrame bounds a frame's post-length payload; stat responses
+	// (JSON statistics) are the largest legitimate frames.
+	MaxFrame = 1 << 20
+
+	// MaxVolumeName bounds the volume-name field (its length is a uint8).
+	MaxVolumeName = 255
+)
+
+// Request opcodes (first payload byte of a request frame).
+const (
+	OpWrite uint8 = iota + 1
+	OpRead
+	OpStat
+	OpSnapshot
+)
+
+// Response status codes (first payload byte of a response frame).
+const (
+	StatusOK uint8 = iota
+	StatusOverloaded
+	StatusUnknownVolume
+	StatusBadRequest
+	StatusCrashed
+	StatusMediaError
+	StatusTransient
+	StatusNoJournal
+	StatusTimeout
+	StatusInternal
+)
+
+var statusNames = [...]string{
+	StatusOK:            "ok",
+	StatusOverloaded:    "overloaded",
+	StatusUnknownVolume: "unknown-volume",
+	StatusBadRequest:    "bad-request",
+	StatusCrashed:       "crashed",
+	StatusMediaError:    "media-error",
+	StatusTransient:     "transient-fault",
+	StatusNoJournal:     "no-journal",
+	StatusTimeout:       "timeout",
+	StatusInternal:      "internal",
+}
+
+// StatusName returns the status code's kebab-case name.
+func StatusName(s uint8) string {
+	if int(s) < len(statusNames) && statusNames[s] != "" {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("status(%d)", s)
+}
+
+// request is one decoded request frame.
+type request struct {
+	Op     uint8
+	Volume string
+	Extent geom.Extent // write/read only
+}
+
+// appendRequest encodes the request into dst's frame format:
+//
+//	len uint32 LE | op uint8 | vlen uint8 | name | [lba uint64 LE, count uint64 LE]
+func appendRequest(dst []byte, req request) ([]byte, error) {
+	if len(req.Volume) > MaxVolumeName {
+		return dst, fmt.Errorf("server: volume name %d bytes long (max %d)", len(req.Volume), MaxVolumeName)
+	}
+	body := 2 + len(req.Volume)
+	if req.Op == OpWrite || req.Op == OpRead {
+		body += 16
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
+	dst = append(dst, req.Op, uint8(len(req.Volume)))
+	dst = append(dst, req.Volume...)
+	if req.Op == OpWrite || req.Op == OpRead {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(req.Extent.Start))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(req.Extent.Count))
+	}
+	return dst, nil
+}
+
+// parseRequest decodes a request frame payload (everything after the
+// length prefix).
+func parseRequest(p []byte) (request, error) {
+	if len(p) < 2 {
+		return request{}, fmt.Errorf("server: request frame %d bytes, want >= 2", len(p))
+	}
+	req := request{Op: p[0]}
+	vlen := int(p[1])
+	p = p[2:]
+	if len(p) < vlen {
+		return request{}, fmt.Errorf("server: request truncated inside volume name")
+	}
+	req.Volume = string(p[:vlen])
+	p = p[vlen:]
+	switch req.Op {
+	case OpWrite, OpRead:
+		if len(p) != 16 {
+			return request{}, fmt.Errorf("server: %s body %d bytes, want 16", StatusName(StatusBadRequest), len(p))
+		}
+		req.Extent = geom.Ext(
+			geom.Sector(binary.LittleEndian.Uint64(p[0:8])),
+			int64(binary.LittleEndian.Uint64(p[8:16])),
+		)
+		if req.Extent.Start < 0 || req.Extent.Count < 0 {
+			return request{}, fmt.Errorf("server: negative extent %v", req.Extent)
+		}
+	case OpStat, OpSnapshot:
+		if len(p) != 0 {
+			return request{}, fmt.Errorf("server: op %d carries %d unexpected body bytes", req.Op, len(p))
+		}
+	default:
+		return request{}, fmt.Errorf("server: unknown op %d", req.Op)
+	}
+	return req, nil
+}
+
+// appendResponse encodes a response frame:
+//
+//	len uint32 LE | status uint8 | body
+//
+// For StatusOK the body is op-specific (read: frags uint32 LE; stat:
+// JSON statistics; write/snapshot: empty). For errors it is a UTF-8
+// message.
+func appendResponse(dst []byte, status uint8, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+len(body)))
+	dst = append(dst, status)
+	return append(dst, body...)
+}
+
+// readFrame reads one length-prefixed frame payload into buf (growing it
+// as needed) and returns the payload slice.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("server: empty frame")
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds the %d-byte cap", n, MaxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("server: truncated frame: %w", err)
+	}
+	return buf, nil
+}
+
+// handshake performs one side's hello exchange: write ours, read theirs.
+func handshake(rw io.ReadWriter) error {
+	hello := append([]byte(Magic), Version)
+	if _, err := rw.Write(hello); err != nil {
+		return err
+	}
+	var peer [len(Magic) + 1]byte
+	if _, err := io.ReadFull(rw, peer[:]); err != nil {
+		return fmt.Errorf("server: handshake: %w", err)
+	}
+	if string(peer[:len(Magic)]) != Magic {
+		return fmt.Errorf("server: bad handshake magic %q", peer[:len(Magic)])
+	}
+	if peer[len(Magic)] != Version {
+		return fmt.Errorf("server: protocol version %d, want %d", peer[len(Magic)], Version)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package volume_test
+
+import (
+	"testing"
+
+	"smrseek/internal/core"
+	"smrseek/internal/geom"
+	"smrseek/internal/volume"
+)
+
+// BenchmarkVolumeActor measures the actor-loop overhead the service
+// layer adds on top of the raw simulator: queue handoff, batch drain and
+// result delivery. "sync" waits out each op's full round trip (the
+// protocol server's shape — one outstanding request per connection);
+// "pipelined" keeps a window of requests in flight so the actor's batch
+// drain actually batches (the multi-connection aggregate shape).
+func BenchmarkVolumeActor(b *testing.B) {
+	cases := []struct {
+		name   string
+		window int
+	}{
+		{"sync", 1},
+		{"pipelined", 256},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			v, err := volume.Open(volume.Config{
+				Name:       "bench",
+				Sim:        core.Config{LogStructured: true, FrontierStart: 1 << 22},
+				QueueDepth: 512,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			done := make(chan volume.Result, bc.window)
+			outstanding := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := volume.Request{
+					Kind:   volume.OpWrite,
+					Extent: geom.Ext(geom.Sector((int64(i)*8)%(1<<20)), 8),
+				}
+				for {
+					if err := v.TryDo(req, done); err == nil {
+						break
+					}
+					<-done // queue full: free a slot by draining a result
+					outstanding--
+				}
+				if outstanding++; outstanding == bc.window {
+					<-done
+					outstanding--
+				}
+			}
+			for outstanding > 0 {
+				<-done
+				outstanding--
+			}
+			b.StopTimer()
+			if err := v.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

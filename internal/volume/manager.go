@@ -1,0 +1,67 @@
+package volume
+
+import (
+	"fmt"
+
+	"smrseek/internal/obsv"
+)
+
+// Manager owns a fixed set of volumes opened together and closed
+// together — the daemon's in-process model of a multi-volume service.
+// The set is immutable after OpenAll, so lookups need no locking and
+// are safe from any number of server goroutines.
+type Manager struct {
+	order []string
+	vols  map[string]*Volume
+	reg   *obsv.Registry
+}
+
+// OpenAll opens every configured volume. On any failure the volumes
+// opened so far are closed and the first error returned. Names must be
+// unique.
+func OpenAll(cfgs ...Config) (*Manager, error) {
+	m := &Manager{vols: make(map[string]*Volume, len(cfgs)), reg: obsv.NewRegistry()}
+	for _, cfg := range cfgs {
+		if _, dup := m.vols[cfg.Name]; dup {
+			m.Close()
+			return nil, fmt.Errorf("volume: duplicate name %q", cfg.Name)
+		}
+		v, err := Open(cfg)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.order = append(m.order, cfg.Name)
+		m.vols[cfg.Name] = v
+		if err := m.reg.Register(cfg.Name, v.Collector()); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Get returns the named volume.
+func (m *Manager) Get(name string) (*Volume, bool) {
+	v, ok := m.vols[name]
+	return v, ok
+}
+
+// Names returns the volume names in open order.
+func (m *Manager) Names() []string { return append([]string(nil), m.order...) }
+
+// Registry returns the shared metrics registry holding every volume's
+// collector, ready for obsv.ServeRegistry.
+func (m *Manager) Registry() *obsv.Registry { return m.reg }
+
+// Close closes every volume — draining queues, checkpointing journaled
+// state — and returns the first error.
+func (m *Manager) Close() error {
+	var first error
+	for _, name := range m.order {
+		if err := m.vols[name].Close(); err != nil && first == nil {
+			first = fmt.Errorf("volume %s: %w", name, err)
+		}
+	}
+	return first
+}

@@ -139,8 +139,12 @@ var (
 	DefaultCache = core.DefaultCacheConfig
 )
 
-// NewSimulator builds a simulator for the configuration.
-func NewSimulator(cfg Config) (*Simulator, error) { return core.NewSimulator(cfg) }
+// NewSimulator builds a simulator for the configuration. Optional
+// probes attach to this simulator only — the right way to observe one
+// run among many (SetGlobalProbe is process-wide).
+func NewSimulator(cfg Config, probes ...Probe) (*Simulator, error) {
+	return core.NewSimulator(cfg, probes...)
+}
 
 // SetGlobalProbe attaches p to every simulator built after the call
 // (nil detaches), so one observer can watch runs constructed deep
