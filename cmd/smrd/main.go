@@ -29,6 +29,7 @@ import (
 
 	"smrseek/internal/core"
 	"smrseek/internal/geom"
+	"smrseek/internal/journal"
 	"smrseek/internal/obsv"
 	"smrseek/internal/report"
 	"smrseek/internal/server"
@@ -56,13 +57,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		queueDepth  = fs.Int("queue-depth", volume.DefaultQueueDepth, "per-volume request queue bound; a full queue sheds with an overloaded status")
 		batch       = fs.Int("batch", volume.DefaultBatchSize, "max requests the actor drains per wakeup")
 		ckptEvery   = fs.Int64("checkpoint-every", 4096, "checkpoint a journaled volume after this many journal records (0 = only at shutdown)")
+		sealEvery   = fs.Int64("seal-every", journal.DefaultSegmentSize, "seal a Merkle segment after this many journal records")
+		noVerify    = fs.Bool("no-verify-recover", false, "skip the seal-chain audit before recovering a journaled volume (corrupt journals will then recover as if merely torn)")
 		reqTimeout  = fs.Duration("request-timeout", 0, "per-request execution timeout once queued (0 = none); expiry closes the connection")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfgs, err := parseVolumes(*volumes, *journalDir, geom.Sector(*frontier), *queueDepth, *batch, *ckptEvery)
+	cfgs, err := parseVolumes(*volumes, *journalDir, geom.Sector(*frontier), *queueDepth, *batch, *ckptEvery, *sealEvery, *noVerify)
 	if err != nil {
 		return err
 	}
@@ -74,8 +77,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	for _, name := range mgr.Names() {
 		v, _ := mgr.Get(name)
 		if v.Recovery != nil {
-			fmt.Fprintf(out, "smrd: volume %s recovered: checkpoint=%v, %d journal records replayed\n",
-				name, v.Recovery.FromCheckpoint, v.Recovery.Replayed)
+			fmt.Fprintf(out, "smrd: volume %s recovered: checkpoint=%v, %d journal records replayed, verified=%v (%d sealed segments)\n",
+				name, v.Recovery.FromCheckpoint, v.Recovery.Replayed, v.Recovery.Verified, v.Recovery.SealedSegments)
 		}
 	}
 
@@ -125,7 +128,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 // parseVolumes expands the -volumes spec into volume configurations.
 // Grammar: spec := entry ("," entry)*; entry := name ("=" opt ("+" opt)*)?
-func parseVolumes(spec, journalDir string, frontier geom.Sector, queueDepth, batch int, ckptEvery int64) ([]volume.Config, error) {
+func parseVolumes(spec, journalDir string, frontier geom.Sector, queueDepth, batch int, ckptEvery, sealEvery int64, noVerify bool) ([]volume.Config, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, fmt.Errorf("empty -volumes spec")
 	}
@@ -163,6 +166,8 @@ func parseVolumes(spec, journalDir string, frontier geom.Sector, queueDepth, bat
 		if journalDir != "" {
 			cfg.JournalDir = filepath.Join(journalDir, name)
 			cfg.CheckpointEvery = ckptEvery
+			cfg.SealEvery = sealEvery
+			cfg.SkipVerifyOnRecover = noVerify
 		}
 		cfgs = append(cfgs, cfg)
 	}

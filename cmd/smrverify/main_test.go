@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smrseek/internal/geom"
+	"smrseek/internal/journal"
+)
+
+// sealedDir builds a journal directory with n records in segments of 2.
+func sealedDir(t *testing.T, dir string, n int64) {
+	t.Helper()
+	log, err := journal.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.SetSegmentSize(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i++ {
+		if err := log.Append(journal.Record{
+			Kind: journal.RecWrite, Lba: geom.Ext(i*8, 8), Pba: geom.Sector(i * 8),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.Close()
+}
+
+func TestRunCleanAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	sealedDir(t, dir, 5)
+
+	var out bytes.Buffer
+	if err := run([]string{dir}, &out); err != nil {
+		t.Fatalf("run over clean dir: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") || !strings.Contains(out.String(), "2 sealed segments") {
+		t.Errorf("clean output = %q", out.String())
+	}
+
+	// Flip a sealed byte: non-zero exit and a CORRUPT line naming the dir.
+	f, err := os.OpenFile(journal.JournalPath(dir), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, 70); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out.Reset()
+	if err := run([]string{dir}, &out); err == nil {
+		t.Fatalf("run over corrupt dir succeeded:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "CORRUPT") || !strings.Contains(out.String(), dir) {
+		t.Errorf("corrupt output = %q", out.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	dir := t.TempDir()
+	sealedDir(t, dir, 4)
+	var out bytes.Buffer
+	if err := run([]string{"-json", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var a journal.Audit
+	if err := json.Unmarshal(out.Bytes(), &a); err != nil {
+		t.Fatalf("decode %q: %v", out.String(), err)
+	}
+	if a.SealedRecords != 4 || len(a.Segments) != 2 || a.Dir != dir {
+		t.Errorf("audit = %+v", a)
+	}
+}
+
+func TestRunStrictTornTail(t *testing.T) {
+	dir := t.TempDir()
+	sealedDir(t, dir, 4)
+	frame := journal.MarshalRecord(journal.Record{Kind: journal.RecWrite, Lba: geom.Ext(64, 8), Pba: 64})
+	f, err := os.OpenFile(journal.JournalPath(dir), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:15]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{dir}, &out); err != nil {
+		t.Fatalf("torn tail failed without -strict: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "torn tail") {
+		t.Errorf("torn output = %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-strict", dir}, &out); err == nil {
+		t.Error("-strict accepted a torn tail")
+	}
+}
+
+func TestRunExpandsVolumeRoot(t *testing.T) {
+	root := t.TempDir()
+	for _, name := range []string{"b", "a"} {
+		sub := filepath.Join(root, name)
+		if err := os.Mkdir(sub, 0o777); err != nil {
+			t.Fatal(err)
+		}
+		sealedDir(t, sub, 4)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-json", root}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		var a journal.Audit
+		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+			t.Fatal(err)
+		}
+		dirs = append(dirs, filepath.Base(a.Dir))
+	}
+	if len(dirs) != 2 || dirs[0] != "a" || dirs[1] != "b" {
+		t.Errorf("audited %v, want [a b] in sorted order", dirs)
+	}
+
+	if err := run([]string{t.TempDir()}, &out); err == nil {
+		t.Error("run accepted a root with no journal state")
+	}
+	if err := run(nil, &out); err == nil {
+		t.Error("run accepted an empty argument list")
+	}
+}

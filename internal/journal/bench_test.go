@@ -27,7 +27,7 @@ func BenchmarkAppend(b *testing.B) {
 // BenchmarkReadJournal measures replay-side parsing of a 10k-record log.
 func BenchmarkReadJournal(b *testing.B) {
 	var buf bytes.Buffer
-	buf.Write(marshalHeader(1, 0))
+	buf.Write(marshalHeader(1, 0, Hash{}))
 	for i := 0; i < 10000; i++ {
 		buf.Write(MarshalRecord(Record{Kind: RecWrite, Lba: geom.Ext(int64(i), 8), Pba: int64(i) * 8}))
 	}

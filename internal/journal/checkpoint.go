@@ -20,6 +20,11 @@ type Snapshot struct {
 	// journal with a generation <= this one predates the snapshot and
 	// must not be replayed over it. Log.Checkpoint fills it in.
 	Generation uint64
+	// Chain is the seal-chain head at checkpoint time: the anchor of the
+	// journal generation that follows. It commits every record sealed in
+	// any generation up to this checkpoint, making the checkpoint+journal
+	// pair one verifiable history. Log.Checkpoint fills it in.
+	Chain Hash
 	// Frontier is the write frontier position.
 	Frontier geom.Sector
 	// Written is the total sectors ever appended to the log.
@@ -30,7 +35,7 @@ type Snapshot struct {
 
 // Checkpoint on-disk format. All integers are little-endian.
 //
-//	checkpoint := magic(8) generation(8) frontier(8) written(8)
+//	checkpoint := magic(8) generation(8) frontier(8) written(8) chain(32)
 //	              nMappings(8) mapping* crc32(4)
 //	mapping    := lbaStart(8) lbaCount(8) pba(8)                [24 bytes]
 //
@@ -39,8 +44,8 @@ type Snapshot struct {
 // ever see a complete file — the CRC guards against the remaining ways
 // a file can rot (bad media, partial rename on non-atomic filesystems).
 const (
-	checkpointMagic = "SMRCKP01"
-	ckptFixedSize   = 8 + 8 + 8 + 8 + 8
+	checkpointMagic = "SMRCKP02"
+	ckptFixedSize   = 8 + 8 + 8 + 8 + 32 + 8
 	mappingSize     = 8 + 8 + 8
 	maxCkptMappings = 1 << 28 // preallocation sanity bound (~6 GiB of mappings)
 )
@@ -52,7 +57,8 @@ func WriteCheckpoint(w io.Writer, snap Snapshot) error {
 	binary.LittleEndian.PutUint64(buf[8:16], snap.Generation)
 	binary.LittleEndian.PutUint64(buf[16:24], uint64(snap.Frontier))
 	binary.LittleEndian.PutUint64(buf[24:32], uint64(snap.Written))
-	binary.LittleEndian.PutUint64(buf[32:40], uint64(len(snap.Mappings)))
+	copy(buf[32:64], snap.Chain[:])
+	binary.LittleEndian.PutUint64(buf[64:72], uint64(len(snap.Mappings)))
 	off := ckptFixedSize
 	for _, m := range snap.Mappings {
 		binary.LittleEndian.PutUint64(buf[off:off+8], uint64(m.Lba.Start))
@@ -78,7 +84,7 @@ func ReadCheckpoint(r io.Reader) (Snapshot, error) {
 	if string(fixed[0:8]) != checkpointMagic {
 		return snap, fmt.Errorf("journal: bad checkpoint magic %q", fixed[0:8])
 	}
-	n := binary.LittleEndian.Uint64(fixed[32:40])
+	n := binary.LittleEndian.Uint64(fixed[64:72])
 	if n > maxCkptMappings {
 		return snap, fmt.Errorf("journal: implausible checkpoint mapping count %d", n)
 	}
@@ -94,6 +100,7 @@ func ReadCheckpoint(r io.Reader) (Snapshot, error) {
 	snap.Generation = binary.LittleEndian.Uint64(fixed[8:16])
 	snap.Frontier = int64(binary.LittleEndian.Uint64(fixed[16:24]))
 	snap.Written = int64(binary.LittleEndian.Uint64(fixed[24:32]))
+	copy(snap.Chain[:], fixed[32:64])
 	if snap.Frontier < 0 || snap.Written < 0 {
 		return snap, fmt.Errorf("journal: negative checkpoint counters (frontier=%d written=%d)",
 			snap.Frontier, snap.Written)
@@ -141,6 +148,12 @@ func readCheckpointFile(path string) (*Snapshot, error) {
 // and the journal's parsed records — already filtered by the generation
 // rule, so d.Records is exactly the sequence to replay on top of the
 // snapshot. Either file may be absent; both absent is an error.
+//
+// Damage inside the journal's sealed region surfaces as a *CorruptError
+// even here, checkpoint or not: LoadDir is lenient only about crash
+// signatures (torn tails, a half-written header under a valid
+// checkpoint, a stale pre-checkpoint generation), never about bytes the
+// seal chain had already committed.
 func LoadDir(dir string) (*Snapshot, Data, error) {
 	snap, err := readCheckpointFile(CheckpointPath(dir))
 	if err != nil {
@@ -156,19 +169,25 @@ func LoadDir(dir string) (*Snapshot, Data, error) {
 	if err != nil {
 		return nil, Data{}, err
 	}
+	// Check staleness from the header alone before parsing content: a
+	// crash between checkpoint rename and journal truncation leaves a
+	// whole stale generation behind, and nothing in it — damaged or not —
+	// matters once the checkpoint subsumes it.
+	if gen, _, _, herr := unmarshalHeader(raw); herr == nil && snap != nil && gen <= snap.Generation {
+		return snap, Data{Generation: gen}, nil
+	}
 	d, err := ReadJournal(newByteReader(raw))
 	if err != nil {
+		var ce *CorruptError
+		if errors.As(err, &ce) {
+			return nil, Data{}, err
+		}
 		if snap == nil {
 			return nil, Data{}, err
 		}
 		// A corrupt journal header alongside a valid checkpoint: the
 		// checkpoint is the durable truth; treat the journal as torn.
 		return snap, Data{Generation: snap.Generation, Torn: true}, nil
-	}
-	if snap != nil && d.Generation <= snap.Generation {
-		// Stale journal from before the checkpoint (crash between the
-		// checkpoint rename and the journal truncation): do not replay.
-		d.Records, d.Torn = nil, false
 	}
 	return snap, d, nil
 }

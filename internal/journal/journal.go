@@ -24,6 +24,15 @@
 // replays the journal only when its generation is newer than the
 // checkpoint's, so a crash BETWEEN checkpoint rename and journal
 // truncation cannot double-apply records.
+//
+// On top of the per-record CRCs the journal is tamper-evident: records
+// are sealed into segments, each closed by a seal frame carrying the
+// Merkle root over the segment's record leaves (see merkle.go), chained
+// to the previous seal and anchored in the checkpoint. A single CRC
+// catches a torn tail; the seal chain catches what a CRC cannot prove —
+// that damage or tampering anywhere in the sealed prefix is detected as
+// corruption rather than silently truncating acknowledged history (see
+// verify.go).
 package journal
 
 import (
@@ -53,6 +62,11 @@ const (
 	// RecFrontier is an explicit frontier move: the frontier becomes Pba
 	// and the extent is ignored.
 	RecFrontier
+	// RecSeal is a segment seal frame — not a replayable mutation. It
+	// closes the records appended since the previous seal with their
+	// Merkle root and the next chain value. The Log emits seals itself;
+	// Append rejects the kind.
+	RecSeal
 )
 
 // String names the kind.
@@ -64,6 +78,8 @@ func (k RecordKind) String() string {
 		return "relocate"
 	case RecFrontier:
 		return "frontier"
+	case RecSeal:
+		return "seal"
 	}
 	return "unknown"
 }
@@ -76,9 +92,9 @@ type Record struct {
 }
 
 // Valid reports whether the record's fields are replayable: a known
-// kind, non-negative addresses, a positive extent for write kinds, and
-// no address-space overflow. A CRC-valid frame with invalid fields is
-// corruption and stops replay just like a torn tail.
+// mutation kind, non-negative addresses, a positive extent for write
+// kinds, and no address-space overflow. A CRC-valid frame with invalid
+// fields is corruption and stops replay just like a torn tail.
 func (r Record) Valid() bool {
 	switch r.Kind {
 	case RecWrite, RecRelocate:
@@ -93,20 +109,28 @@ func (r Record) Valid() bool {
 
 // On-disk framing. All integers are little-endian.
 //
-//	journal   := header record*
-//	header    := magic(8) generation(8) frontier(8) crc32(4)   [28 bytes]
-//	record    := length(4) payload crc32(4)
-//	payload   := kind(1) lbaStart(8) lbaCount(8) pba(8)        [25 bytes]
+//	journal   := header frame*
+//	header    := magic(8) generation(8) frontier(8) anchor(32) crc32(4)  [60 bytes]
+//	frame     := length(4) payload crc32(4)
+//	payload   := record | seal                 (distinguished by length + kind)
+//	record    := kind(1) lbaStart(8) lbaCount(8) pba(8)                  [25 bytes]
+//	seal      := kind(1)=4 index(8) count(4) root(32) chain(32)          [77 bytes]
 //
-// The header CRC covers generation and frontier; a record CRC covers its
-// payload. The length field counts payload bytes only.
+// The header CRC covers generation, frontier and anchor; a frame CRC
+// covers its payload. The length field counts payload bytes only.
 const (
-	journalMagic  = "SMRWAL01"
-	headerSize    = 8 + 8 + 8 + 4
-	payloadSize   = 1 + 8 + 8 + 8
-	frameSize     = 4 + payloadSize + 4
-	maxPayloadLen = 1 << 20 // sanity bound: larger lengths mean a torn/corrupt frame
+	journalMagic    = "SMRWAL02"
+	headerSize      = 8 + 8 + 8 + 32 + 4
+	payloadSize     = 1 + 8 + 8 + 8
+	frameSize       = 4 + payloadSize + 4
+	sealPayloadSize = 1 + 8 + 4 + 32 + 32
+	sealFrameSize   = 4 + sealPayloadSize + 4
+	maxPayloadLen   = 1 << 20 // sanity bound: larger lengths mean a torn/corrupt frame
 )
+
+// DefaultSegmentSize is the record count a filled segment is sealed at
+// when SetSegmentSize was not called.
+const DefaultSegmentSize = 256
 
 // ErrCrashed is returned by Append and Checkpoint after an injected
 // crash point has fired: the log behaves like a device that lost power.
@@ -142,32 +166,76 @@ func unmarshalPayload(p []byte) (Record, bool) {
 	return r, r.Valid()
 }
 
+// Seal is one sealed segment: Count consecutive records closed by their
+// Merkle Root and the Chain value linking the seal to its predecessor
+// (or, for the first seal, to the journal header's anchor).
+type Seal struct {
+	// Index is the seal's 0-based position within its journal generation.
+	Index int `json:"segment"`
+	// First is the 1-based sequence of the first record covered.
+	First int64 `json:"first"`
+	// Count is the number of records the seal covers (> 0).
+	Count int `json:"count"`
+	Root  Hash `json:"root"`
+	Chain Hash `json:"chain"`
+	// Offset is the byte offset of the seal frame in the journal file.
+	Offset int64 `json:"offset"`
+}
+
+// marshalSeal encodes one framed seal entry.
+func marshalSeal(index, count int, root, chain Hash) []byte {
+	buf := make([]byte, sealFrameSize)
+	binary.LittleEndian.PutUint32(buf[0:4], sealPayloadSize)
+	p := buf[4 : 4+sealPayloadSize]
+	p[0] = byte(RecSeal)
+	binary.LittleEndian.PutUint64(p[1:9], uint64(index))
+	binary.LittleEndian.PutUint32(p[9:13], uint32(count))
+	copy(p[13:45], root[:])
+	copy(p[45:77], chain[:])
+	binary.LittleEndian.PutUint32(buf[4+sealPayloadSize:], crc32.ChecksumIEEE(p))
+	return buf
+}
+
+// parseSealPayload decodes a CRC-validated seal payload.
+func parseSealPayload(p []byte) (index int64, count int64, root, chain Hash, ok bool) {
+	if len(p) != sealPayloadSize || p[0] != byte(RecSeal) {
+		return 0, 0, Hash{}, Hash{}, false
+	}
+	index = int64(binary.LittleEndian.Uint64(p[1:9]))
+	count = int64(binary.LittleEndian.Uint32(p[9:13]))
+	copy(root[:], p[13:45])
+	copy(chain[:], p[45:77])
+	return index, count, root, chain, index >= 0 && count > 0
+}
+
 // marshalHeader encodes the journal file header.
-func marshalHeader(generation uint64, frontier geom.Sector) []byte {
+func marshalHeader(generation uint64, frontier geom.Sector, anchor Hash) []byte {
 	buf := make([]byte, headerSize)
 	copy(buf[0:8], journalMagic)
 	binary.LittleEndian.PutUint64(buf[8:16], generation)
 	binary.LittleEndian.PutUint64(buf[16:24], uint64(frontier))
-	binary.LittleEndian.PutUint32(buf[24:28], crc32.ChecksumIEEE(buf[8:24]))
+	copy(buf[24:56], anchor[:])
+	binary.LittleEndian.PutUint32(buf[56:60], crc32.ChecksumIEEE(buf[8:56]))
 	return buf
 }
 
-func unmarshalHeader(buf []byte) (generation uint64, frontier geom.Sector, err error) {
+func unmarshalHeader(buf []byte) (generation uint64, frontier geom.Sector, anchor Hash, err error) {
 	if len(buf) < headerSize {
-		return 0, 0, fmt.Errorf("journal: short header (%d bytes)", len(buf))
+		return 0, 0, Hash{}, fmt.Errorf("journal: short header (%d bytes)", len(buf))
 	}
 	if string(buf[0:8]) != journalMagic {
-		return 0, 0, fmt.Errorf("journal: bad magic %q", buf[0:8])
+		return 0, 0, Hash{}, fmt.Errorf("journal: bad magic %q", buf[0:8])
 	}
-	if crc32.ChecksumIEEE(buf[8:24]) != binary.LittleEndian.Uint32(buf[24:28]) {
-		return 0, 0, fmt.Errorf("journal: header checksum mismatch")
+	if crc32.ChecksumIEEE(buf[8:56]) != binary.LittleEndian.Uint32(buf[56:60]) {
+		return 0, 0, Hash{}, fmt.Errorf("journal: header checksum mismatch")
 	}
 	generation = binary.LittleEndian.Uint64(buf[8:16])
 	frontier = int64(binary.LittleEndian.Uint64(buf[16:24]))
+	copy(anchor[:], buf[24:56])
 	if frontier < 0 {
-		return 0, 0, fmt.Errorf("journal: negative header frontier %d", frontier)
+		return 0, 0, Hash{}, fmt.Errorf("journal: negative header frontier %d", frontier)
 	}
-	return generation, frontier, nil
+	return generation, frontier, anchor, nil
 }
 
 // Data is the parsed content of one journal stream.
@@ -178,59 +246,173 @@ type Data struct {
 	// InitFrontier is the frontier position recorded at journal birth,
 	// used when no checkpoint is available.
 	InitFrontier geom.Sector
+	// Anchor is the header's seal-chain anchor: the chain head of the
+	// checkpoint this journal was reborn after (zero for generation 1
+	// with no prior checkpoint).
+	Anchor Hash
 	// Records are the complete, CRC-valid records in append order.
 	Records []Record
+	// Seals are the verified segment seals, in order. Every seal's root
+	// was recomputed from the records it covers and its chain value from
+	// the predecessor — ReadJournal fails with a CorruptError otherwise.
+	Seals []Seal
+	// Sealed is the number of leading Records covered by Seals.
+	Sealed int64
 	// Torn reports that the stream ended in a torn or corrupt record,
 	// which was discarded. Everything in Records precedes it.
 	Torn bool
 }
 
+// ChainHead returns the seal chain after the last seal (the anchor when
+// no records have been sealed).
+func (d *Data) ChainHead() Hash {
+	if n := len(d.Seals); n > 0 {
+		return d.Seals[n-1].Chain
+	}
+	return d.Anchor
+}
+
 // ReadJournal parses a journal stream, stopping cleanly at a torn or
 // corrupt tail. A missing or corrupt HEADER is an error (the header is
 // written whole at journal birth and never rewritten, so damage there is
-// not a torn append); anything wrong after the header marks Torn.
+// not a torn append); a damaged frame followed by no further intact seal
+// marks Torn — the crash signature; a damaged frame at or before the
+// last intact seal is damage inside the sealed region and returns a
+// *CorruptError (truncating there would silently drop acknowledged,
+// sealed history).
 func ReadJournal(r io.Reader) (Data, error) {
-	var d Data
-	hdr := make([]byte, headerSize)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return d, fmt.Errorf("journal: reading header: %w", err)
-	}
-	gen, frontier, err := unmarshalHeader(hdr)
+	raw, err := io.ReadAll(r)
 	if err != nil {
+		return Data{}, fmt.Errorf("journal: reading stream: %w", err)
+	}
+	return scanJournal(raw)
+}
+
+// scanJournal is the full parse + seal check over raw journal bytes.
+func scanJournal(raw []byte) (Data, error) {
+	var d Data
+	if len(raw) < headerSize {
+		return d, fmt.Errorf("journal: short header (%d bytes)", len(raw))
+	}
+	gen, frontier, anchor, err := unmarshalHeader(raw)
+	if err != nil {
+		// A crash mid-rebirth (truncate done, header write torn) leaves a
+		// SHORT file: nothing but partial header bytes. A damaged header
+		// with sealed content after it is not that — it is damage to a
+		// file that was whole.
+		if findSealFrom(raw, 0) >= 0 {
+			return d, &CorruptError{File: JournalFile, Segment: 0, Offset: 0,
+				Reason: "damaged header ahead of sealed content"}
+		}
 		return d, err
 	}
-	d.Generation, d.InitFrontier = gen, frontier
-	var lenBuf [4]byte
-	for {
-		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			if err == io.EOF {
-				return d, nil // clean end of journal
+	d.Generation, d.InitFrontier, d.Anchor = gen, frontier, anchor
+
+	chain := anchor
+	var pending []Hash // leaf hashes since the last seal
+	pendingFirst := int64(1)
+	off, end := int64(headerSize), int64(len(raw))
+
+	// damaged classifies a bad frame at offset at: if any intact seal
+	// frame survives at or beyond the damage, acknowledged sealed
+	// history lies past it and the journal is corrupt, not torn.
+	damaged := func(at int64, reason string) (Data, error) {
+		if findSealFrom(raw, at) >= 0 {
+			return d, &CorruptError{
+				File: JournalFile, Segment: len(d.Seals), Offset: at,
+				Reason: reason + " (intact seal follows the damage)",
 			}
-			d.Torn = true // partial length prefix
-			return d, nil
 		}
-		n := binary.LittleEndian.Uint32(lenBuf[:])
-		if n == 0 || n > maxPayloadLen {
-			d.Torn = true // implausible length: torn or corrupt frame
-			return d, nil
-		}
-		frame := make([]byte, int(n)+4)
-		if _, err := io.ReadFull(r, frame); err != nil {
-			d.Torn = true // partial payload or CRC
-			return d, nil
-		}
-		payload, sum := frame[:n], binary.LittleEndian.Uint32(frame[n:])
-		if crc32.ChecksumIEEE(payload) != sum {
-			d.Torn = true
-			return d, nil
-		}
-		rec, ok := unmarshalPayload(payload)
-		if !ok {
-			d.Torn = true // CRC-valid but not replayable: corrupt tail
-			return d, nil
-		}
-		d.Records = append(d.Records, rec)
+		d.Torn = true
+		return d, nil
 	}
+	// sealBroken is for a CRC-valid seal frame whose content disagrees
+	// with the records it covers: never a crash artifact, always corrupt.
+	sealBroken := func(at int64, reason string) (Data, error) {
+		return d, &CorruptError{File: JournalFile, Segment: len(d.Seals), Offset: at, Reason: reason}
+	}
+
+	for off < end {
+		if end-off < 4 {
+			return damaged(off, "partial length prefix")
+		}
+		plen := int64(binary.LittleEndian.Uint32(raw[off:]))
+		if plen == 0 || plen > maxPayloadLen {
+			return damaged(off, fmt.Sprintf("implausible frame length %d", plen))
+		}
+		next := off + 4 + plen + 4
+		if next > end {
+			return damaged(off, "partial frame")
+		}
+		payload := raw[off+4 : off+4+plen]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(raw[off+4+plen:]) {
+			return damaged(off, "frame checksum mismatch")
+		}
+		switch {
+		case plen == payloadSize:
+			rec, ok := unmarshalPayload(payload)
+			if !ok {
+				return damaged(off, "unreplayable record")
+			}
+			d.Records = append(d.Records, rec)
+			pending = append(pending, LeafHash(payload))
+		case plen == sealPayloadSize && payload[0] == byte(RecSeal):
+			idx, cnt, root, sealChain, ok := parseSealPayload(payload)
+			if !ok {
+				return damaged(off, "malformed seal payload")
+			}
+			if int(idx) != len(d.Seals) {
+				return sealBroken(off, fmt.Sprintf("seal index %d, want %d", idx, len(d.Seals)))
+			}
+			if int(cnt) != len(pending) {
+				return sealBroken(off, fmt.Sprintf("seal covers %d records, %d are pending", cnt, len(pending)))
+			}
+			if got := MerkleRoot(pending); got != root {
+				return sealBroken(off, fmt.Sprintf("segment root %s, sealed %s", got.Short(), root.Short()))
+			}
+			if want := chainLink(chain, root); want != sealChain {
+				return sealBroken(off, fmt.Sprintf("chain %s, sealed %s", want.Short(), sealChain.Short()))
+			}
+			chain = sealChain
+			d.Seals = append(d.Seals, Seal{
+				Index: int(idx), First: pendingFirst, Count: int(cnt),
+				Root: root, Chain: sealChain, Offset: off,
+			})
+			d.Sealed += cnt
+			pendingFirst += cnt
+			pending = pending[:0]
+		default:
+			return damaged(off, fmt.Sprintf("unrecognized %d-byte frame", plen))
+		}
+		off = next
+	}
+	return d, nil
+}
+
+// findSealFrom scans raw for an intact seal frame starting at or after
+// offset from, returning its offset or -1. It is the resynchronization
+// step of damage classification: the frame CRC plus the fixed seal
+// length and kind make a false positive vanishingly unlikely, and a
+// genuine seal past a damaged frame proves the damage sits inside the
+// sealed region (seals are only ever appended after the records they
+// cover).
+func findSealFrom(raw []byte, from int64) int64 {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i+sealFrameSize <= int64(len(raw)); i++ {
+		if binary.LittleEndian.Uint32(raw[i:]) != sealPayloadSize {
+			continue
+		}
+		if raw[i+4] != byte(RecSeal) {
+			continue
+		}
+		p := raw[i+4 : i+4+sealPayloadSize]
+		if crc32.ChecksumIEEE(p) == binary.LittleEndian.Uint32(raw[i+4+sealPayloadSize:]) {
+			return i
+		}
+	}
+	return -1
 }
 
 // File names inside a journal directory.
@@ -268,6 +450,14 @@ type Log struct {
 	appends    int64 // acknowledged appends by this process
 	sinceCkpt  int64 // records in the journal file since its header
 	ckpts      int64 // checkpoints written by this process
+	size       int64 // journal file size (for seal offsets)
+
+	segSize int    // records per sealed segment
+	anchor  Hash   // header anchor (chain head at journal birth)
+	chain   Hash   // chain head after the last seal
+	leaves  []Hash // leaf hash per record in this generation
+	sealed  int64  // records covered by seals
+	seals   []Seal // seals in this generation
 
 	failer     Failer
 	crashAfter int64 // 1-based append seq that crashes; 0 = never
@@ -276,11 +466,14 @@ type Log struct {
 }
 
 // Open opens (or creates) the journal in dir, creating the directory as
-// needed. A fresh journal is born with initFrontier in its header and a
-// generation one past the checkpoint's (or 1). An existing journal is
-// opened for append; its records are scanned to validate the file and
-// recount the checkpoint age. An existing torn tail is rejected —
-// recover first, checkpoint, and the reborn journal is clean.
+// needed. A fresh journal is born with initFrontier in its header, a
+// generation one past the checkpoint's (or 1) and the checkpoint's
+// chain head as its seal anchor. An existing journal is opened for
+// append; its records and seals are scanned to validate the file,
+// recount the checkpoint age and restore the sealing state. An existing
+// torn tail is rejected — recover first, checkpoint, and the reborn
+// journal is clean. A stale checkpoint.tmp left by a crash mid-
+// checkpoint is removed.
 func Open(dir string, initFrontier geom.Sector) (*Log, error) {
 	if initFrontier < 0 {
 		return nil, fmt.Errorf("journal: negative initial frontier %d", initFrontier)
@@ -288,18 +481,34 @@ func Open(dir string, initFrontier geom.Sector) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir}
+	// A crash between checkpoint staging and rename leaves the partial
+	// temp file behind; it is never read, but letting it rot alongside
+	// real state invites confusion (and a full disk). Clear it.
+	if err := os.Remove(filepath.Join(dir, checkpointTmp)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	l := &Log{dir: dir, segSize: DefaultSegmentSize}
 	path := JournalPath(dir)
 	if data, err := os.ReadFile(path); err == nil {
-		d, err := ReadJournal(newByteReader(data))
+		d, err := scanJournal(data)
 		if err != nil {
 			return nil, err
 		}
 		if d.Torn {
-			return nil, fmt.Errorf("journal: %s has a torn tail; recover before appending", path)
+			return nil, fmt.Errorf("journal: %s has a torn tail; recover before appending: %w", path, ErrTornTail)
 		}
 		l.generation = d.Generation
 		l.sinceCkpt = int64(len(d.Records))
+		l.size = int64(len(data))
+		l.anchor = d.Anchor
+		l.chain = d.ChainHead()
+		l.seals = d.Seals
+		l.sealed = d.Sealed
+		l.leaves = make([]Hash, 0, len(d.Records))
+		for _, rec := range d.Records {
+			frame := MarshalRecord(rec)
+			l.leaves = append(l.leaves, LeafHash(frame[4:4+payloadSize]))
+		}
 		l.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
 		if err != nil {
 			return nil, err
@@ -309,8 +518,10 @@ func Open(dir string, initFrontier geom.Sector) (*Log, error) {
 		return nil, err
 	}
 	gen := uint64(1)
+	var anchor Hash
 	if snap, err := readCheckpointFile(CheckpointPath(dir)); err == nil && snap != nil {
 		gen = snap.Generation + 1
+		anchor = snap.Chain
 	} else if err != nil {
 		return nil, fmt.Errorf("journal: existing checkpoint unreadable: %w", err)
 	}
@@ -318,11 +529,13 @@ func Open(dir string, initFrontier geom.Sector) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := f.Write(marshalHeader(gen, initFrontier)); err != nil {
+	if _, err := f.Write(marshalHeader(gen, initFrontier, anchor)); err != nil {
 		f.Close()
 		return nil, err
 	}
 	l.generation, l.f = gen, f
+	l.anchor, l.chain = anchor, anchor
+	l.size = headerSize
 	return l, nil
 }
 
@@ -345,6 +558,33 @@ func (l *Log) Checkpoints() int64 { return l.ckpts }
 // Crashed reports whether an injected crash point has fired.
 func (l *Log) Crashed() bool { return l.crashed }
 
+// Chain returns the seal chain head: the anchor extended by every seal
+// of the current generation.
+func (l *Log) Chain() Hash { return l.chain }
+
+// Anchor returns the current generation's header anchor — the chain
+// head inherited from the last checkpoint (zero for generation 1).
+func (l *Log) Anchor() Hash { return l.anchor }
+
+// SealedRecords returns how many records of the current generation are
+// covered by seals; records past them await the next seal.
+func (l *Log) SealedRecords() int64 { return l.sealed }
+
+// Seals returns a copy of the current generation's seals.
+func (l *Log) Seals() []Seal { return append([]Seal(nil), l.seals...) }
+
+// SetSegmentSize sets how many records fill a segment before it is
+// sealed automatically (default DefaultSegmentSize). Smaller segments
+// seal — and thus become tamper-evident and provable — sooner, at the
+// cost of one 85-byte seal frame per segment.
+func (l *Log) SetSegmentSize(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("journal: segment size %d, want > 0", n)
+	}
+	l.segSize = n
+	return nil
+}
+
 // SetFailer installs an append fault hook (nil clears it).
 func (l *Log) SetFailer(f Failer) { l.failer = f }
 
@@ -360,6 +600,7 @@ func (l *Log) CrashAfter(n int64, tornBytes int) {
 // Append write-ahead-logs one record. The caller must apply the
 // mutation only after Append returns nil: a failed append persisted
 // either nothing (failer fault) or an unreplayable torn prefix (crash).
+// Filling a segment seals it in the same call.
 func (l *Log) Append(rec Record) error {
 	if l.crashed {
 		return ErrCrashed
@@ -393,21 +634,103 @@ func (l *Log) Append(rec Record) error {
 	if _, err := l.f.Write(frame); err != nil {
 		return err
 	}
+	l.size += int64(len(frame))
+	l.leaves = append(l.leaves, LeafHash(frame[4:4+payloadSize]))
 	l.appends++
 	l.sinceCkpt++
+	if int64(len(l.leaves))-l.sealed >= int64(l.segSize) {
+		return l.seal()
+	}
 	return nil
 }
 
+// seal closes the open segment (no-op when empty): Merkle root over the
+// pending leaves, chain extension, one seal frame appended.
+func (l *Log) seal() error {
+	pending := l.leaves[l.sealed:]
+	if len(pending) == 0 {
+		return nil
+	}
+	root := MerkleRoot(pending)
+	next := chainLink(l.chain, root)
+	idx := len(l.seals)
+	frame := marshalSeal(idx, len(pending), root, next)
+	if _, err := l.f.Write(frame); err != nil {
+		return err
+	}
+	l.seals = append(l.seals, Seal{
+		Index: idx, First: l.sealed + 1, Count: len(pending),
+		Root: root, Chain: next, Offset: l.size,
+	})
+	l.size += int64(len(frame))
+	l.chain = next
+	l.sealed += int64(len(pending))
+	return nil
+}
+
+// Seal force-closes the open segment even if it is not full, making
+// every acknowledged record sealed (and provable) immediately. A no-op
+// when no records are pending.
+func (l *Log) Seal() error {
+	if l.crashed {
+		return ErrCrashed
+	}
+	return l.seal()
+}
+
+// Prove returns the inclusion proof for the seq'th record (1-based) of
+// the current journal generation. Only sealed records have proofs; an
+// unsealed tail record returns ErrUnsealed (force a seal or a
+// checkpoint first), and a seq outside the generation is an error —
+// checkpointing folds sealed history into the snapshot and truncates
+// the journal, so proofs do not survive a checkpoint.
+func (l *Log) Prove(seq int64) (Proof, error) {
+	if seq < 1 || seq > int64(len(l.leaves)) {
+		return Proof{}, fmt.Errorf("journal: no record %d in generation %d (%d records)",
+			seq, l.generation, len(l.leaves))
+	}
+	if seq > l.sealed {
+		return Proof{}, fmt.Errorf("journal: record %d of generation %d: %w (sealed through %d)",
+			seq, l.generation, ErrUnsealed, l.sealed)
+	}
+	for _, s := range l.seals {
+		if seq < s.First || seq >= s.First+int64(s.Count) {
+			continue
+		}
+		leaves := l.leaves[s.First-1 : s.First-1+int64(s.Count)]
+		i := int(seq - s.First)
+		return Proof{
+			Generation: l.generation,
+			Seq:        seq,
+			Segment:    s.Index,
+			Index:      i,
+			Count:      s.Count,
+			Leaf:       leaves[i],
+			Path:       merklePath(leaves, i),
+			Root:       s.Root,
+			Chain:      s.Chain,
+		}, nil
+	}
+	return Proof{}, fmt.Errorf("journal: record %d not covered by any seal", seq)
+}
+
 // Checkpoint atomically persists the snapshot and truncates the
-// journal. The snapshot is staged to a temporary file, synced, and
-// renamed over the checkpoint; only then is the journal reborn empty
-// with the next generation. A crash anywhere in between leaves a
-// recoverable pair (see the package comment on generations).
+// journal. The open segment is sealed first so the snapshot's chain
+// head commits every acknowledged record; the snapshot is staged to a
+// temporary file, synced, renamed over the checkpoint, and the rename
+// is made durable with a directory fsync; only then is the journal
+// reborn empty with the next generation and the chain head as its
+// anchor. A crash anywhere in between leaves a recoverable pair (see
+// the package comment on generations).
 func (l *Log) Checkpoint(snap Snapshot) error {
 	if l.crashed {
 		return ErrCrashed
 	}
+	if err := l.seal(); err != nil {
+		return err
+	}
 	snap.Generation = l.generation
+	snap.Chain = l.chain
 	tmp := filepath.Join(l.dir, checkpointTmp)
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
 	if err != nil {
@@ -427,6 +750,12 @@ func (l *Log) Checkpoint(snap Snapshot) error {
 	if err := os.Rename(tmp, CheckpointPath(l.dir)); err != nil {
 		return err
 	}
+	// The rename is only durable once the directory entry is: fsync the
+	// directory, or a power cut can resurrect the old checkpoint after
+	// the journal was truncated — silently dropping acknowledged writes.
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
 	// The checkpoint is durable; rebirth the journal under the next
 	// generation. Stale records left by a crash before this point are
 	// skipped at recovery because their generation is now old.
@@ -437,12 +766,31 @@ func (l *Log) Checkpoint(snap Snapshot) error {
 		return err
 	}
 	l.generation++
-	if _, err := l.f.Write(marshalHeader(l.generation, snap.Frontier)); err != nil {
+	if _, err := l.f.Write(marshalHeader(l.generation, snap.Frontier, l.chain)); err != nil {
 		return err
 	}
+	l.anchor = l.chain
+	l.leaves = l.leaves[:0]
+	l.sealed = 0
+	l.seals = nil
+	l.size = headerSize
 	l.sinceCkpt = 0
 	l.ckpts++
 	return nil
+}
+
+// syncDir fsyncs a directory, making directory-entry mutations (a
+// checkpoint rename) durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Sync flushes the journal file to stable storage.

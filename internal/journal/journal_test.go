@@ -25,7 +25,7 @@ func TestRecordRoundTrip(t *testing.T) {
 		rec(RecFrontier, 0, 0, 12345),
 	}
 	var buf bytes.Buffer
-	buf.Write(marshalHeader(7, 999))
+	buf.Write(marshalHeader(7, 999, Hash{}))
 	for _, r := range recs {
 		buf.Write(MarshalRecord(r))
 	}
@@ -55,7 +55,7 @@ func TestReadJournalTornTails(t *testing.T) {
 	// and must not hide the preceding complete record.
 	for cut := 0; cut < len(full); cut++ {
 		var buf bytes.Buffer
-		buf.Write(marshalHeader(1, 0))
+		buf.Write(marshalHeader(1, 0, Hash{}))
 		buf.Write(MarshalRecord(rec(RecWrite, 0, 2, 50)))
 		buf.Write(full[:cut])
 		d, err := ReadJournal(&buf)
@@ -77,7 +77,7 @@ func TestReadJournalTornTails(t *testing.T) {
 
 func TestReadJournalCorruptTail(t *testing.T) {
 	var buf bytes.Buffer
-	buf.Write(marshalHeader(1, 0))
+	buf.Write(marshalHeader(1, 0, Hash{}))
 	buf.Write(MarshalRecord(rec(RecWrite, 0, 2, 50)))
 	frame := MarshalRecord(rec(RecWrite, 2, 2, 52))
 	frame[5] ^= 0xff // corrupt payload byte; CRC now mismatches
@@ -92,7 +92,7 @@ func TestReadJournalCorruptTail(t *testing.T) {
 
 	// CRC-valid frame with an unreplayable payload (unknown kind).
 	buf.Reset()
-	buf.Write(marshalHeader(1, 0))
+	buf.Write(marshalHeader(1, 0, Hash{}))
 	bad := make([]byte, payloadSize)
 	bad[0] = 99 // no such kind
 	var frame2 bytes.Buffer
@@ -116,10 +116,10 @@ func TestReadJournalCorruptTail(t *testing.T) {
 func TestReadJournalBadHeader(t *testing.T) {
 	cases := map[string][]byte{
 		"empty":     nil,
-		"short":     []byte("SMRWAL01abc"),
-		"bad magic": append([]byte("NOTMAGIC"), marshalHeader(1, 0)[8:]...),
+		"short":     []byte("SMRWAL02abc"),
+		"bad magic": append([]byte("NOTMAGIC"), marshalHeader(1, 0, Hash{})[8:]...),
 	}
-	hdr := marshalHeader(1, 0)
+	hdr := marshalHeader(1, 0, Hash{})
 	hdr[9] ^= 0x01
 	cases["bad crc"] = hdr
 	for name, data := range cases {
@@ -222,7 +222,7 @@ func TestLogCheckpointTruncatesAndGuardsGeneration(t *testing.T) {
 	// Simulate a crash between checkpoint rename and journal truncate:
 	// restore a stale journal (old generation, full of records) next to
 	// the new checkpoint. LoadDir must refuse to replay it.
-	stale := bytes.NewBuffer(marshalHeader(1, 0))
+	stale := bytes.NewBuffer(marshalHeader(1, 0, Hash{}))
 	for i := int64(0); i < 5; i++ {
 		stale.Write(MarshalRecord(rec(RecWrite, i, 1, i)))
 	}

@@ -1,0 +1,211 @@
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Merkle sealing (RFC 6962 tree shape). Every journaled record is
+// hashed into a leaf; a seal frame closes a segment of consecutive
+// records with the Merkle root over their leaves, and seals are chained:
+//
+//	leaf    = SHA-256(0x00 || payload)
+//	node    = SHA-256(0x01 || left || right)
+//	chain_i = SHA-256(0x02 || chain_{i-1} || root_i)
+//
+// chain_{-1} is the journal header's anchor — the chain head of the
+// checkpoint this journal was reborn after (all zeros for the first
+// generation). The chain therefore runs unbroken across checkpoint
+// truncations, so a checkpoint+journal pair can be verified as one
+// tamper-evident history: damage to any sealed byte, to any seal, or to
+// the pairing itself (a swapped checkpoint, a deleted generation) breaks
+// a hash somewhere between the anchor and the chain head.
+//
+// The domain-separation prefixes keep the three hash roles disjoint: a
+// leaf can never be replayed as an interior node (second-preimage
+// mangling) and a root can never pose as a chain link.
+
+// Hash is a SHA-256 digest. It marshals to/from hex in JSON, so audits
+// and proofs survive the wire protocol's JSON bodies unmangled.
+type Hash [sha256.Size]byte
+
+// IsZero reports whether h is the all-zero hash (the chain anchor of a
+// first-generation journal with no prior checkpoint).
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// String returns the full lowercase hex digest.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// Short returns the first 8 hex digits, for compact reports.
+func (h Hash) Short() string { return hex.EncodeToString(h[:4]) }
+
+// MarshalJSON encodes the hash as a hex string.
+func (h Hash) MarshalJSON() ([]byte, error) { return json.Marshal(h.String()) }
+
+// UnmarshalJSON decodes a hex string of exactly 64 digits.
+func (h *Hash) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return fmt.Errorf("journal: bad hash hex: %w", err)
+	}
+	if len(raw) != sha256.Size {
+		return fmt.Errorf("journal: hash is %d bytes, want %d", len(raw), sha256.Size)
+	}
+	copy(h[:], raw)
+	return nil
+}
+
+// Domain-separation prefixes (see the package comment above).
+const (
+	leafPrefix  = 0x00
+	nodePrefix  = 0x01
+	chainPrefix = 0x02
+)
+
+// LeafHash hashes one record payload into its Merkle leaf.
+func LeafHash(payload []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(payload)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func nodeHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// chainLink extends the seal chain with one segment root.
+func chainLink(prev, root Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{chainPrefix})
+	h.Write(prev[:])
+	h.Write(root[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// splitPoint returns the largest power of two strictly below n (n >= 2),
+// the RFC 6962 left-subtree size.
+func splitPoint(n int) int {
+	k := 1
+	for k<<1 < n {
+		k <<= 1
+	}
+	return k
+}
+
+// MerkleRoot computes the RFC 6962 tree hash over already-hashed leaves.
+// A single leaf is its own root; an empty slice hashes the empty string
+// (never produced by sealing — segments are non-empty by construction).
+func MerkleRoot(leaves []Hash) Hash {
+	switch len(leaves) {
+	case 0:
+		return sha256.Sum256(nil)
+	case 1:
+		return leaves[0]
+	}
+	k := splitPoint(len(leaves))
+	return nodeHash(MerkleRoot(leaves[:k]), MerkleRoot(leaves[k:]))
+}
+
+// merklePath returns the RFC 6962 audit path for leaf i: the sibling
+// hashes needed to recompute the root, ordered leaf-level first.
+func merklePath(leaves []Hash, i int) []Hash {
+	if len(leaves) <= 1 {
+		return nil
+	}
+	k := splitPoint(len(leaves))
+	if i < k {
+		return append(merklePath(leaves[:k], i), MerkleRoot(leaves[k:]))
+	}
+	return append(merklePath(leaves[k:], i-k), MerkleRoot(leaves[:k]))
+}
+
+// Proof is a per-record inclusion proof: the audit path from one
+// journaled record's leaf to the Merkle root its seal committed. A
+// verifier holding the segment root (or the seal chain it is linked
+// into) can confirm the record was among those sealed — without the
+// journal.
+type Proof struct {
+	// Generation is the journal generation the record lives in. Proofs
+	// are only available for the current generation: a checkpoint folds
+	// sealed history into the snapshot and truncates the journal.
+	Generation uint64 `json:"generation"`
+	// Seq is the record's 1-based sequence number within the journal.
+	Seq int64 `json:"seq"`
+	// Segment is the seal's 0-based index within the journal.
+	Segment int `json:"segment"`
+	// Index is the record's 0-based position within the segment of Count
+	// leaves.
+	Index int `json:"index"`
+	Count int `json:"count"`
+	// Leaf is the record's leaf hash; Path is the audit path; Root is
+	// the sealed segment root the path must reproduce; Chain is the seal
+	// chain value committing Root.
+	Leaf  Hash   `json:"leaf"`
+	Path  []Hash `json:"path"`
+	Root  Hash   `json:"root"`
+	Chain Hash   `json:"chain"`
+}
+
+// Verify recomputes the root from Leaf and Path and checks it against
+// Root. It does not (cannot) check that Root itself is honest — that is
+// what the seal chain and the checkpoint anchor are for.
+func (p Proof) Verify() error {
+	root, err := rootFromPath(p.Index, p.Count, p.Leaf, p.Path)
+	if err != nil {
+		return err
+	}
+	if root != p.Root {
+		return fmt.Errorf("journal: proof for seq %d recomputes root %s, sealed root is %s",
+			p.Seq, root.Short(), p.Root.Short())
+	}
+	return nil
+}
+
+// rootFromPath replays an RFC 6962 audit path (the verification
+// algorithm of RFC 9162 §2.1.3.2).
+func rootFromPath(i, n int, leaf Hash, path []Hash) (Hash, error) {
+	if n <= 0 || i < 0 || i >= n {
+		return Hash{}, fmt.Errorf("journal: proof index %d out of range for %d leaves", i, n)
+	}
+	fn, sn := uint64(i), uint64(n-1)
+	r := leaf
+	for _, p := range path {
+		if sn == 0 {
+			return Hash{}, fmt.Errorf("journal: proof path too long")
+		}
+		if fn%2 == 1 || fn == sn {
+			r = nodeHash(p, r)
+			if fn%2 == 0 {
+				for fn%2 == 0 && fn != 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			r = nodeHash(r, p)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if sn != 0 {
+		return Hash{}, fmt.Errorf("journal: proof path too short")
+	}
+	return r, nil
+}

@@ -1,0 +1,121 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func testLeaves(n int) []Hash {
+	leaves := make([]Hash, n)
+	for i := range leaves {
+		leaves[i] = LeafHash([]byte{byte(i), byte(i >> 8), 0xab})
+	}
+	return leaves
+}
+
+func TestMerkleRootStability(t *testing.T) {
+	// Golden values: the tree shape (RFC 6962) and the domain prefixes
+	// are on-disk format; any change to either must be deliberate.
+	got := MerkleRoot(testLeaves(5)).String()
+	const want = "448564f71f10d54ebc8720aa7f7de130c37bbdab153df0d485334e651a4f2af0"
+	if got != want {
+		t.Errorf("MerkleRoot(5 leaves) = %s, want %s (on-disk format changed?)", got, want)
+	}
+	if MerkleRoot(testLeaves(1)) != testLeaves(1)[0] {
+		t.Error("single leaf must be its own root")
+	}
+}
+
+func TestMerkleProofAllShapes(t *testing.T) {
+	// Every leaf of every tree size up to 17 (covers perfect, one-over,
+	// and ragged shapes): the audit path must reproduce the root, and a
+	// damaged leaf, path element, or index must not.
+	for n := 1; n <= 17; n++ {
+		leaves := testLeaves(n)
+		root := MerkleRoot(leaves)
+		for i := 0; i < n; i++ {
+			path := merklePath(leaves, i)
+			got, err := rootFromPath(i, n, leaves[i], path)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+			if got != root {
+				t.Fatalf("n=%d i=%d: path root %s, want %s", n, i, got.Short(), root.Short())
+			}
+			// Wrong leaf must fail.
+			bad := leaves[i]
+			bad[0] ^= 0xff
+			if got, err := rootFromPath(i, n, bad, path); err == nil && got == root {
+				t.Fatalf("n=%d i=%d: corrupted leaf still proves", n, i)
+			}
+			// Wrong index must fail (except n=1, where the empty path
+			// proves the only leaf).
+			if n > 1 {
+				j := (i + 1) % n
+				if got, err := rootFromPath(j, n, leaves[i], path); err == nil && got == root {
+					t.Fatalf("n=%d i=%d: proof verifies at wrong index %d", n, i, j)
+				}
+			}
+			// Damaged path element must fail.
+			for k := range path {
+				mut := append([]Hash(nil), path...)
+				mut[k][3] ^= 0x80
+				if got, err := rootFromPath(i, n, leaves[i], mut); err == nil && got == root {
+					t.Fatalf("n=%d i=%d: corrupted path[%d] still proves", n, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestRootFromPathRejectsBadLengths(t *testing.T) {
+	leaves := testLeaves(6)
+	path := merklePath(leaves, 2)
+	if _, err := rootFromPath(2, 6, leaves[2], path[:len(path)-1]); err == nil {
+		t.Error("short path accepted")
+	}
+	if _, err := rootFromPath(2, 6, leaves[2], append(append([]Hash(nil), path...), Hash{})); err == nil {
+		t.Error("long path accepted")
+	}
+	if _, err := rootFromPath(6, 6, leaves[0], path); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := rootFromPath(0, 0, Hash{}, nil); err == nil {
+		t.Error("empty tree accepted")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	// A leaf over the concatenation of two hashes must not equal the
+	// interior node over them, or a forged "leaf" could stand in for a
+	// subtree (the classic second-preimage attack on unprefixed trees).
+	a, b := LeafHash([]byte("a")), LeafHash([]byte("b"))
+	node := nodeHash(a, b)
+	if LeafHash(append(a[:], b[:]...)) == node {
+		t.Error("leaf and node hashing are not domain-separated")
+	}
+	if chainLink(a, b) == node {
+		t.Error("chain and node hashing are not domain-separated")
+	}
+}
+
+func TestHashJSONRoundTrip(t *testing.T) {
+	h := LeafHash([]byte("round trip"))
+	raw, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Hash
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip %s != %s", got, h)
+	}
+	for _, bad := range []string{`"xyz"`, `"abcd"`, `42`, fmt.Sprintf("%q", h.String()+"00")} {
+		if err := json.Unmarshal([]byte(bad), &got); err == nil {
+			t.Errorf("bad hash JSON %s accepted", bad)
+		}
+	}
+}

@@ -3,13 +3,16 @@ package server
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
 	"smrseek/internal/core"
 	"smrseek/internal/disk"
 	"smrseek/internal/geom"
+	"smrseek/internal/journal"
 	"smrseek/internal/trace"
 )
 
@@ -31,12 +34,63 @@ func IsOverloaded(err error) bool {
 	return ok && se.Status == StatusOverloaded
 }
 
+// connError marks a transport-level failure (send or receive on a
+// broken connection), as opposed to a server response. Step/Replay
+// reconnect on these; a StatusError — including overload shedding —
+// always surfaces immediately.
+type connError struct{ err error }
+
+func (e *connError) Error() string { return e.err.Error() }
+func (e *connError) Unwrap() error { return e.err }
+
+func isConnError(err error) bool {
+	var ce *connError
+	return errors.As(err, &ce)
+}
+
+// ReconnectPolicy bounds Step/Replay's automatic reconnection after a
+// broken connection: up to MaxAttempts redials, sleeping a jittered
+// exponential backoff between them, starting at Base and capped at Max.
+type ReconnectPolicy struct {
+	MaxAttempts int
+	Base        time.Duration
+	Max         time.Duration
+}
+
+// DefaultReconnect is the policy a dialed client starts with.
+var DefaultReconnect = ReconnectPolicy{
+	MaxAttempts: 5,
+	Base:        50 * time.Millisecond,
+	Max:         2 * time.Second,
+}
+
+// backoff returns the jittered sleep before redial attempt (0-based):
+// uniform over [d/2, d) where d = min(Base<<attempt, Max). The jitter
+// spreads a herd of clients reconnecting to a restarted daemon.
+func (p ReconnectPolicy) backoff(attempt int) time.Duration {
+	d := p.Base
+	for i := 0; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
 // Client is one synchronous smrd protocol connection. Not safe for
 // concurrent use; open one client per goroutine.
 type Client struct {
-	conn net.Conn
-	buf  []byte // frame read scratch
-	out  []byte // request encode scratch
+	addr       string
+	conn       net.Conn
+	buf        []byte // frame read scratch
+	out        []byte // request encode scratch
+	policy     ReconnectPolicy
+	reconnects int64
 }
 
 // Dial connects and performs the protocol handshake, retrying refused
@@ -60,13 +114,39 @@ func Dial(addr string) (*Client, error) {
 		conn.Close()
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	return &Client{addr: addr, conn: conn, policy: DefaultReconnect}, nil
 }
+
+// SetReconnect replaces the Step/Replay reconnection policy. A zero
+// MaxAttempts disables reconnection entirely.
+func (c *Client) SetReconnect(p ReconnectPolicy) { c.policy = p }
+
+// Reconnects returns how many times the client has re-established its
+// connection inside Step/Replay.
+func (c *Client) Reconnects() int64 { return c.reconnects }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// reconnect replaces a broken connection with a fresh handshaken one.
+func (c *Client) reconnect() error {
+	c.conn.Close()
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return &connError{fmt.Errorf("smrd: redial %s: %w", c.addr, err)}
+	}
+	if err := handshake(conn); err != nil {
+		conn.Close()
+		return &connError{err}
+	}
+	c.conn = conn
+	c.reconnects++
+	return nil
+}
+
 // roundTrip sends one request and decodes the response status + body.
+// Transport failures come back as *connError; server rejections as
+// *StatusError.
 func (c *Client) roundTrip(req request) ([]byte, error) {
 	out, err := appendRequest(c.out[:0], req)
 	if err != nil {
@@ -74,11 +154,11 @@ func (c *Client) roundTrip(req request) ([]byte, error) {
 	}
 	c.out = out
 	if _, err := c.conn.Write(out); err != nil {
-		return nil, fmt.Errorf("smrd: send: %w", err)
+		return nil, &connError{fmt.Errorf("smrd: send: %w", err)}
 	}
 	frame, err := readFrame(c.conn, c.buf)
 	if err != nil {
-		return nil, fmt.Errorf("smrd: recv: %w", err)
+		return nil, &connError{fmt.Errorf("smrd: recv: %w", err)}
 	}
 	c.buf = frame
 	status, body := frame[0], frame[1:]
@@ -127,9 +207,62 @@ func (c *Client) Snapshot(vol string) error {
 	return err
 }
 
+// Verify asks the server to audit the volume's journal directory —
+// every frame CRC, every segment Merkle root, the seal chain and the
+// checkpoint linkage — and returns the audit. Corruption comes back as
+// a StatusCorrupt StatusError.
+func (c *Client) Verify(vol string) (journal.Audit, error) {
+	body, err := c.roundTrip(request{Op: OpVerify, Volume: vol})
+	if err != nil {
+		return journal.Audit{}, err
+	}
+	var a journal.Audit
+	if err := json.Unmarshal(body, &a); err != nil {
+		return journal.Audit{}, fmt.Errorf("smrd: audit decode: %w", err)
+	}
+	return a, nil
+}
+
+// Prove fetches the Merkle inclusion proof for the seq'th journal
+// record (1-based, current generation) of the volume and verifies the
+// audit path locally before returning it — so a proof the server
+// mis-built never reaches the caller marked good.
+func (c *Client) Prove(vol string, seq int64) (journal.Proof, error) {
+	body, err := c.roundTrip(request{Op: OpProof, Volume: vol, Seq: seq})
+	if err != nil {
+		return journal.Proof{}, err
+	}
+	var p journal.Proof
+	if err := json.Unmarshal(body, &p); err != nil {
+		return journal.Proof{}, fmt.Errorf("smrd: proof decode: %w", err)
+	}
+	if err := p.Verify(); err != nil {
+		return journal.Proof{}, fmt.Errorf("smrd: server proof does not verify: %w", err)
+	}
+	return p, nil
+}
+
 // Step sends one trace record as the matching read/write request and
-// returns a read's fragment count (0 for writes).
+// returns a read's fragment count (0 for writes). A broken connection
+// is redialed with capped, jittered exponential backoff (up to the
+// ReconnectPolicy's MaxAttempts) and the record resent — at-least-once
+// semantics: a record whose response was lost in flight may execute
+// twice. Server rejections, including ErrOverloaded backpressure, are
+// never retried here.
 func (c *Client) Step(vol string, rec trace.Record) (int, error) {
+	n, err := c.step(vol, rec)
+	for attempt := 0; isConnError(err) && attempt < c.policy.MaxAttempts; attempt++ {
+		time.Sleep(c.policy.backoff(attempt))
+		if rerr := c.reconnect(); rerr != nil {
+			err = rerr
+			continue
+		}
+		n, err = c.step(vol, rec)
+	}
+	return n, err
+}
+
+func (c *Client) step(vol string, rec trace.Record) (int, error) {
 	switch rec.Kind {
 	case disk.Write:
 		return 0, c.Write(vol, rec.Extent)
@@ -142,7 +275,8 @@ func (c *Client) Step(vol string, rec trace.Record) (int, error) {
 
 // Replay streams every record of r to the named volume in order and
 // returns the op count. Each record blocks on its response, so the
-// volume executes the trace in exactly this order.
+// volume executes the trace in exactly this order. Broken connections
+// are retried per Step's reconnect policy.
 func (c *Client) Replay(vol string, r trace.Reader) (int64, error) {
 	var n int64
 	for {

@@ -168,8 +168,12 @@ func (s *Server) handle(out, frame []byte, done chan volume.Result) ([]byte, boo
 		kind = volume.OpStat
 	case OpSnapshot:
 		kind = volume.OpSnapshot
+	case OpVerify:
+		kind = volume.OpVerify
+	case OpProof:
+		kind = volume.OpProof
 	}
-	if err := vol.TryDo(volume.Request{Kind: kind, Extent: req.Extent}, done); err != nil {
+	if err := vol.TryDo(volume.Request{Kind: kind, Extent: req.Extent, Seq: req.Seq}, done); err != nil {
 		return appendResponse(out, statusOf(err), []byte(err.Error())), true
 	}
 	var timeout <-chan time.Time
@@ -210,6 +214,18 @@ func appendOK(out []byte, op uint8, res volume.Result) []byte {
 			return appendResponse(out, StatusInternal, []byte(err.Error()))
 		}
 		return appendResponse(out, StatusOK, body)
+	case OpVerify:
+		body, err := json.Marshal(res.Audit)
+		if err != nil {
+			return appendResponse(out, StatusInternal, []byte(err.Error()))
+		}
+		return appendResponse(out, StatusOK, body)
+	case OpProof:
+		body, err := json.Marshal(res.Proof)
+		if err != nil {
+			return appendResponse(out, StatusInternal, []byte(err.Error()))
+		}
+		return appendResponse(out, StatusOK, body)
 	default:
 		return appendResponse(out, StatusOK, nil)
 	}
@@ -226,6 +242,10 @@ func statusOf(err error) uint8 {
 		return StatusNoJournal
 	case errors.Is(err, journal.ErrCrashed):
 		return StatusCrashed
+	case errors.Is(err, journal.ErrCorrupt):
+		return StatusCorrupt
+	case errors.Is(err, journal.ErrUnsealed):
+		return StatusBadRequest
 	case fault.IsMedia(err):
 		return StatusMediaError
 	case fault.IsTransient(err):

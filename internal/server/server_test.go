@@ -5,12 +5,17 @@ import (
 	"errors"
 	"io"
 	"net"
+	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"smrseek/internal/core"
+	"smrseek/internal/disk"
 	"smrseek/internal/geom"
+	"smrseek/internal/journal"
+	"smrseek/internal/trace"
 	"smrseek/internal/volume"
 )
 
@@ -49,6 +54,8 @@ func TestWireRoundTrip(t *testing.T) {
 		{Op: OpRead, Volume: "a-much-longer-volume-name", Extent: geom.Ext(0, 1)},
 		{Op: OpStat, Volume: "v"},
 		{Op: OpSnapshot, Volume: "v"},
+		{Op: OpVerify, Volume: "v"},
+		{Op: OpProof, Volume: "v", Seq: 7},
 	}
 	for _, want := range cases {
 		frame, err := appendRequest(nil, want)
@@ -77,7 +84,10 @@ func TestWireRejectsMalformed(t *testing.T) {
 		{OpWrite, 5, 'a'},          // truncated name
 		{OpWrite, 1, 'a', 1, 2, 3}, // truncated extent
 		{OpStat, 1, 'a', 0},        // trailing bytes on stat
-		{99, 0},                    // unknown op
+		{OpVerify, 1, 'a', 0},      // trailing bytes on verify
+		{OpProof, 1, 'a'},          // proof without seq
+		{OpProof, 1, 'a', 0, 0, 0, 0, 0, 0, 0, 0}, // proof seq 0
+		{99, 0}, // unknown op
 	}
 	for _, p := range bad {
 		if _, err := parseRequest(p); err == nil {
@@ -324,6 +334,187 @@ func TestServerConcurrentClients(t *testing.T) {
 	for i := 0; i < clients; i++ {
 		if err := <-errc; err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+func TestServerVerifyAndProof(t *testing.T) {
+	jcfg := lsConfig("v0")
+	jcfg.JournalDir = t.TempDir()
+	jcfg.SealEvery = 2
+	_, _, addr := newTestServer(t, Options{}, jcfg, lsConfig("plain"))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var se *StatusError
+	if _, err := c.Verify("plain"); !errors.As(err, &se) || se.Status != StatusNoJournal {
+		t.Errorf("Verify without journal: %v, want StatusNoJournal", err)
+	}
+
+	for i := int64(0); i < 5; i++ {
+		if err := c.Write("v0", geom.Ext(i*8, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	audit, err := c.Verify("v0")
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !audit.HasJournal || len(audit.Segments) < 2 || audit.SealedRecords < 4 {
+		t.Fatalf("audit = %+v, want >=2 sealed segments", audit)
+	}
+	proof, err := c.Prove("v0", 1)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if proof.Seq != 1 || proof.Generation != audit.Generation {
+		t.Errorf("proof = %+v, audit generation %d", proof, audit.Generation)
+	}
+	// The record right past the last seal is acknowledged but unsealed:
+	// the server must refuse to prove it rather than invent a path.
+	if _, err := c.Prove("v0", audit.SealedRecords+audit.TailRecords); !errors.As(err, &se) || se.Status != StatusBadRequest {
+		t.Errorf("Prove(unsealed): %v, want StatusBadRequest", err)
+	}
+
+	// Flip a byte inside the sealed region on disk: Verify must come back
+	// StatusCorrupt, and the connection must survive the error response.
+	f, err := os.OpenFile(journal.JournalPath(jcfg.JournalDir), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, 70); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := c.Verify("v0"); !errors.As(err, &se) || se.Status != StatusCorrupt {
+		t.Errorf("Verify of tampered journal: %v, want StatusCorrupt", err)
+	}
+	if _, err := c.Stat("v0"); err != nil {
+		t.Errorf("Stat after corrupt response: %v", err)
+	}
+}
+
+// killableProxy forwards one TCP hop and can sever every live
+// connection on demand, simulating a dropped network or a daemon
+// restart out from under a connected client.
+type killableProxy struct {
+	ln      net.Listener
+	backend string
+	mu      sync.Mutex
+	conns   []net.Conn
+}
+
+func newKillableProxy(t *testing.T, backend string) *killableProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &killableProxy{ln: ln, backend: backend}
+	t.Cleanup(func() {
+		ln.Close()
+		p.Kill()
+	})
+	go p.serve()
+	return p
+}
+
+func (p *killableProxy) serve() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.mu.Lock()
+		p.conns = append(p.conns, conn, up)
+		p.mu.Unlock()
+		go func() { io.Copy(up, conn); up.Close() }()
+		go func() { io.Copy(conn, up); conn.Close() }()
+	}
+}
+
+// Kill closes every connection currently flowing through the proxy.
+// The listener stays up, so clients can redial.
+func (p *killableProxy) Kill() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = p.conns[:0]
+}
+
+func TestClientReconnects(t *testing.T) {
+	_, _, addr := newTestServer(t, Options{}, lsConfig("v0"))
+	proxy := newKillableProxy(t, addr)
+	c, err := Dial(proxy.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReconnect(ReconnectPolicy{MaxAttempts: 4, Base: time.Millisecond, Max: 8 * time.Millisecond})
+
+	rec := trace.Record{Kind: disk.Write, Extent: geom.Ext(0, 8)}
+	if _, err := c.Step("v0", rec); err != nil {
+		t.Fatal(err)
+	}
+	proxy.Kill()
+	if _, err := c.Step("v0", rec); err != nil {
+		t.Fatalf("Step across a killed connection: %v", err)
+	}
+	if got := c.Reconnects(); got != 1 {
+		t.Errorf("Reconnects() = %d, want 1", got)
+	}
+
+	// With reconnection disabled the transport error surfaces instead.
+	proxy.Kill()
+	c.SetReconnect(ReconnectPolicy{})
+	if _, err := c.Step("v0", rec); err == nil {
+		t.Error("Step succeeded on a killed connection with reconnection disabled")
+	} else if c.Reconnects() != 1 {
+		t.Errorf("Reconnects() = %d after disabled policy, want still 1", c.Reconnects())
+	}
+}
+
+func TestClientStepDoesNotRetryOverload(t *testing.T) {
+	cfg := lsConfig("v0")
+	cfg.QueueDepth = 1
+	_, mgr, addr := newTestServer(t, Options{}, cfg)
+	v, _ := mgr.Get("v0")
+	release := stallVolume(t, v)
+	defer release()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Step("v0", trace.Record{Kind: disk.Write, Extent: geom.Ext(0, 8)})
+	if !IsOverloaded(err) {
+		t.Fatalf("Step to saturated volume: %v, want overloaded", err)
+	}
+	if c.Reconnects() != 0 {
+		t.Errorf("overload triggered %d reconnects, want 0", c.Reconnects())
+	}
+}
+
+func TestBackoffCappedAndJittered(t *testing.T) {
+	p := ReconnectPolicy{MaxAttempts: 10, Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	for attempt := 0; attempt < 10; attempt++ {
+		d := min(p.Base<<attempt, p.Max)
+		for i := 0; i < 50; i++ {
+			got := p.backoff(attempt)
+			if got < d/2 || got >= d {
+				t.Fatalf("backoff(%d) = %v, want in [%v, %v)", attempt, got, d/2, d)
+			}
 		}
 	}
 }

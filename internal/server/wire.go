@@ -37,6 +37,8 @@ const (
 	OpRead
 	OpStat
 	OpSnapshot
+	OpVerify
+	OpProof
 )
 
 // Response status codes (first payload byte of a response frame).
@@ -51,6 +53,7 @@ const (
 	StatusNoJournal
 	StatusTimeout
 	StatusInternal
+	StatusCorrupt
 )
 
 var statusNames = [...]string{
@@ -64,6 +67,7 @@ var statusNames = [...]string{
 	StatusNoJournal:     "no-journal",
 	StatusTimeout:       "timeout",
 	StatusInternal:      "internal",
+	StatusCorrupt:       "corrupt",
 }
 
 // StatusName returns the status code's kebab-case name.
@@ -79,25 +83,35 @@ type request struct {
 	Op     uint8
 	Volume string
 	Extent geom.Extent // write/read only
+	Seq    int64       // proof only: 1-based journal record sequence
 }
 
 // appendRequest encodes the request into dst's frame format:
 //
-//	len uint32 LE | op uint8 | vlen uint8 | name | [lba uint64 LE, count uint64 LE]
+//	len uint32 LE | op uint8 | vlen uint8 | name | body
+//
+// where body is `lba uint64 LE, count uint64 LE` for write/read,
+// `seq uint64 LE` for proof, and empty otherwise.
 func appendRequest(dst []byte, req request) ([]byte, error) {
 	if len(req.Volume) > MaxVolumeName {
 		return dst, fmt.Errorf("server: volume name %d bytes long (max %d)", len(req.Volume), MaxVolumeName)
 	}
 	body := 2 + len(req.Volume)
-	if req.Op == OpWrite || req.Op == OpRead {
+	switch req.Op {
+	case OpWrite, OpRead:
 		body += 16
+	case OpProof:
+		body += 8
 	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
 	dst = append(dst, req.Op, uint8(len(req.Volume)))
 	dst = append(dst, req.Volume...)
-	if req.Op == OpWrite || req.Op == OpRead {
+	switch req.Op {
+	case OpWrite, OpRead:
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(req.Extent.Start))
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(req.Extent.Count))
+	case OpProof:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(req.Seq))
 	}
 	return dst, nil
 }
@@ -128,7 +142,15 @@ func parseRequest(p []byte) (request, error) {
 		if req.Extent.Start < 0 || req.Extent.Count < 0 {
 			return request{}, fmt.Errorf("server: negative extent %v", req.Extent)
 		}
-	case OpStat, OpSnapshot:
+	case OpProof:
+		if len(p) != 8 {
+			return request{}, fmt.Errorf("server: proof body %d bytes, want 8", len(p))
+		}
+		req.Seq = int64(binary.LittleEndian.Uint64(p[0:8]))
+		if req.Seq < 1 {
+			return request{}, fmt.Errorf("server: proof sequence %d, want >= 1", req.Seq)
+		}
+	case OpStat, OpSnapshot, OpVerify:
 		if len(p) != 0 {
 			return request{}, fmt.Errorf("server: op %d carries %d unexpected body bytes", req.Op, len(p))
 		}

@@ -34,6 +34,23 @@ type ReplayStats struct {
 	TornTail bool
 	// Generation is the journal generation recovery ended on.
 	Generation uint64
+	// Verified reports that the seal chain and checkpoint linkage were
+	// checked before replay (RecoverOptions.VerifyOnRecover).
+	Verified bool
+	// SealedSegments is the number of verified seals, when Verified.
+	SealedSegments int
+}
+
+// RecoverOptions controls directory recovery.
+type RecoverOptions struct {
+	// VerifyOnRecover runs journal.VerifyDir before replay: every frame
+	// CRC, every segment's Merkle root, the seal chain, and the
+	// checkpoint⇄journal anchor linkage. Recovery then refuses a
+	// directory with damage inside the sealed region (journal.ErrCorrupt,
+	// with segment and offset) instead of silently truncating it to a
+	// "torn tail". Torn tails — damage past the last seal with no sealed
+	// data beyond it — still recover to the verified prefix.
+	VerifyOnRecover bool
 }
 
 // Recover rebuilds a log-structured layer from a checkpoint snapshot
@@ -93,11 +110,36 @@ func Recover(snap *journal.Snapshot, d journal.Data) (*LS, ReplayStats, error) {
 
 // RecoverDir recovers from a journal directory as left by a crash: the
 // checkpoint (if any) plus the journal replayed on top, honouring the
-// generation rule that discards a stale journal.
+// generation rule that discards a stale journal. It does not verify the
+// seal chain; use RecoverDirWith for verified recovery.
 func RecoverDir(dir string) (*LS, ReplayStats, error) {
+	return RecoverDirWith(dir, RecoverOptions{})
+}
+
+// RecoverDirWith is RecoverDir with options. With VerifyOnRecover set
+// it audits the directory first and refuses to recover from one whose
+// sealed history does not verify — the caller gets the *CorruptError
+// (matching journal.ErrCorrupt) naming the damaged file, segment and
+// offset. Note LoadDir itself also surfaces sealed-region damage; the
+// verify pass adds the checkpoint-linkage checks (anchor and generation
+// succession) that replay alone cannot see.
+func RecoverDirWith(dir string, opt RecoverOptions) (*LS, ReplayStats, error) {
+	var audit *journal.Audit
+	if opt.VerifyOnRecover {
+		a, err := journal.VerifyDir(dir)
+		if err != nil {
+			return nil, ReplayStats{}, err
+		}
+		audit = a
+	}
 	snap, d, err := journal.LoadDir(dir)
 	if err != nil {
 		return nil, ReplayStats{}, err
 	}
-	return Recover(snap, d)
+	l, st, err := Recover(snap, d)
+	if audit != nil {
+		st.Verified = true
+		st.SealedSegments = len(audit.Segments)
+	}
+	return l, st, err
 }

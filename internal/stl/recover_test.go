@@ -186,6 +186,64 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	assertRecoveredEqual(t, live, rec)
 }
 
+func TestRecoverDirWithVerify(t *testing.T) {
+	dir := t.TempDir()
+	log, err := journal.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.SetSegmentSize(2); err != nil {
+		t.Fatal(err)
+	}
+	live := NewLS(0)
+	for i := 0; i < 6; i++ {
+		journaledWrite(t, live, log, geom.Ext(int64(i)*8, 8))
+	}
+	log.Close()
+
+	// Clean sealed journal: verified recovery succeeds and says so.
+	rec, st, err := RecoverDirWith(dir, RecoverOptions{VerifyOnRecover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Verified || st.SealedSegments != 3 || st.Replayed != 6 {
+		t.Errorf("stats = %+v, want verified with 3 sealed segments", st)
+	}
+	assertRecoveredEqual(t, live, rec)
+
+	// Unverified recovery of the same dir reports Verified=false.
+	if _, st, err := RecoverDir(dir); err != nil || st.Verified {
+		t.Errorf("unverified recovery: %+v, %v", st, err)
+	}
+
+	// Flip one byte inside the sealed region: verified recovery refuses
+	// with ErrCorrupt; the error names the journal file.
+	raw, err := os.ReadFile(journal.JournalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[70] ^= 0x01 // inside the first record frame
+	if err := os.WriteFile(journal.JournalPath(dir), raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RecoverDirWith(dir, RecoverOptions{VerifyOnRecover: true}); !errors.Is(err, journal.ErrCorrupt) {
+		t.Errorf("verified recovery of corrupt dir: %v, want ErrCorrupt", err)
+	}
+
+	// A torn tail past the last seal is crash residue: verified recovery
+	// still succeeds, replaying the verified prefix.
+	raw[70] ^= 0x01 // undo
+	frame := journal.MarshalRecord(journal.Record{Kind: journal.RecWrite, Lba: geom.Ext(48, 8), Pba: 48})
+	torn := append(append([]byte(nil), raw...), frame[:20]...)
+	if err := os.WriteFile(journal.JournalPath(dir), torn, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, st, err := RecoverDirWith(dir, RecoverOptions{VerifyOnRecover: true}); err != nil ||
+		!st.TornTail || st.Replayed != 6 {
+		t.Errorf("verified recovery of torn dir: %+v, %v", st, err)
+	}
+}
+
 // FuzzJournalReplay feeds arbitrary bytes through the full recovery
 // pipeline: journal parse (which must stop cleanly at any torn or
 // corrupt tail) and replay (which must either fail or produce a map
@@ -211,7 +269,32 @@ func FuzzJournalReplay(f *testing.F) {
 	}
 	f.Add(seed)
 	f.Add(seed[:len(seed)-5]) // torn tail
-	f.Add([]byte("SMRWAL01"))
+	f.Add([]byte("SMRWAL02"))
+
+	// And a sealed journal: small segments so the seed carries several
+	// seal frames for the fuzzer to mangle.
+	sdir := f.TempDir()
+	slog, err := journal.Open(sdir, 100)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := slog.SetSegmentSize(2); err != nil {
+		f.Fatal(err)
+	}
+	for i := int64(0); i < 6; i++ {
+		if err := slog.Append(journal.Record{
+			Kind: journal.RecWrite, Lba: geom.Ext(i*8, 8), Pba: 100 + i*8,
+		}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	slog.Close()
+	sealed, err := os.ReadFile(journal.JournalPath(sdir))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sealed)
+	f.Add(sealed[:len(sealed)-10]) // torn inside the final seal frame
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := journal.ReadJournal(strings.NewReader(string(data)))
 		if err != nil {

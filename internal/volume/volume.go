@@ -64,12 +64,16 @@ const (
 type Op uint8
 
 // Request kinds. Read and Write step the simulator; Stat snapshots the
-// accumulated statistics; Snapshot forces a journal checkpoint.
+// accumulated statistics; Snapshot forces a journal checkpoint; Verify
+// audits the journal directory's seal chain; Proof produces a Merkle
+// inclusion proof for one sealed journal record.
 const (
 	OpWrite Op = iota + 1
 	OpRead
 	OpStat
 	OpSnapshot
+	OpVerify
+	OpProof
 )
 
 // String returns the op's lowercase name.
@@ -83,6 +87,10 @@ func (o Op) String() string {
 		return "stat"
 	case OpSnapshot:
 		return "snapshot"
+	case OpVerify:
+		return "verify"
+	case OpProof:
+		return "proof"
 	}
 	return fmt.Sprintf("op(%d)", o)
 }
@@ -109,6 +117,16 @@ type Config struct {
 	// CheckpointEvery checkpoints the layer after this many journal
 	// records (0 = never mid-run; Close always checkpoints).
 	CheckpointEvery int64
+	// SealEvery sets the journal's Merkle segment size: how many records
+	// fill a segment before it is sealed with a chained Merkle root
+	// (0 = journal.DefaultSegmentSize).
+	SealEvery int64
+	// SkipVerifyOnRecover disables the seal-chain and checkpoint-linkage
+	// audit that otherwise runs before recovering JournalDir. Verification
+	// is on by default: a volume refuses to resume from a journal whose
+	// sealed history does not check out (journal.ErrCorrupt), while torn
+	// tails — plain crash residue — still recover.
+	SkipVerifyOnRecover bool
 }
 
 // Result is one request's outcome.
@@ -117,17 +135,24 @@ type Result struct {
 	Frags int
 	// Stats is the statistics snapshot for OpStat, nil otherwise.
 	Stats *core.Stats
+	// Audit is the journal audit for OpVerify, nil otherwise.
+	Audit *journal.Audit
+	// Proof is the inclusion proof for OpProof, nil otherwise.
+	Proof *journal.Proof
 	// Err is the op-level failure: sticky journal errors for
 	// reads/writes (journal.ErrCrashed, transient/media fault errors),
-	// ErrNoJournal for Snapshot without a journal.
+	// ErrNoJournal for Snapshot/Verify/Proof without a journal,
+	// journal.ErrUnsealed for a proof of an unsealed record.
 	Err error
 }
 
 // Request is one queued operation. Extent is the logical range for
-// reads and writes and ignored for Stat/Snapshot.
+// reads and writes and ignored otherwise; Seq is the 1-based journal
+// record sequence for Proof and ignored otherwise.
 type Request struct {
 	Kind   Op
 	Extent geom.Extent
+	Seq    int64
 	done   chan<- Result
 }
 
@@ -194,6 +219,9 @@ func Open(cfg Config) (*Volume, error) {
 	if cfg.CheckpointEvery < 0 {
 		return nil, fmt.Errorf("volume %s: negative CheckpointEvery %d", cfg.Name, cfg.CheckpointEvery)
 	}
+	if cfg.SealEvery < 0 {
+		return nil, fmt.Errorf("volume %s: negative SealEvery %d", cfg.Name, cfg.SealEvery)
+	}
 
 	v := &Volume{
 		cfg:   cfg,
@@ -207,7 +235,7 @@ func Open(cfg Config) (*Volume, error) {
 		if !simCfg.LogStructured {
 			return nil, fmt.Errorf("volume %s: journaling requires the log-structured layer", cfg.Name)
 		}
-		lg, recovered, rst, err := openJournal(cfg.JournalDir, simCfg.FrontierStart)
+		lg, recovered, rst, err := openJournal(cfg.JournalDir, simCfg.FrontierStart, cfg.SealEvery, !cfg.SkipVerifyOnRecover)
 		if err != nil {
 			return nil, fmt.Errorf("volume %s: %w", cfg.Name, err)
 		}
@@ -238,18 +266,29 @@ func Open(cfg Config) (*Volume, error) {
 
 // openJournal opens dir's write-ahead log, recovering and folding in any
 // state a previous run left behind: the recovered state becomes a fresh
-// checkpoint and the (possibly torn) journal is reborn clean.
-func openJournal(dir string, frontier geom.Sector) (*journal.Log, *stl.LS, *stl.ReplayStats, error) {
+// checkpoint and the (possibly torn) journal is reborn clean. With
+// verify set, recovery audits the seal chain first and refuses a
+// directory with damage inside the sealed region (journal.ErrCorrupt).
+func openJournal(dir string, frontier geom.Sector, sealEvery int64, verify bool) (*journal.Log, *stl.LS, *stl.ReplayStats, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, nil, nil, err
+	}
+	segSize := func(lg *journal.Log) error {
+		if sealEvery == 0 {
+			return nil
+		}
+		return lg.SetSegmentSize(int(sealEvery))
 	}
 	_, jErr := os.Stat(journal.JournalPath(dir))
 	_, cErr := os.Stat(journal.CheckpointPath(dir))
 	if jErr != nil && cErr != nil {
 		lg, err := journal.Open(dir, frontier)
-		return lg, nil, nil, err
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return lg, nil, nil, segSize(lg)
 	}
-	recovered, rst, err := stl.RecoverDir(dir)
+	recovered, rst, err := stl.RecoverDirWith(dir, stl.RecoverOptions{VerifyOnRecover: verify})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -258,6 +297,10 @@ func openJournal(dir string, frontier geom.Sector) (*journal.Log, *stl.LS, *stl.
 	}
 	lg, err := journal.Open(dir, recovered.Frontier())
 	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := segSize(lg); err != nil {
+		lg.Close()
 		return nil, nil, nil, err
 	}
 	if err := lg.Checkpoint(recovered.Snapshot()); err != nil {
@@ -300,8 +343,14 @@ func (v *Volume) TryDo(req Request, done chan Result) error {
 // waits for the result. The returned error is either a submission
 // failure (ErrClosed, ctx.Err()) or the result's own Err.
 func (v *Volume) Do(ctx context.Context, kind Op, ext geom.Extent) (Result, error) {
+	return v.DoRequest(ctx, Request{Kind: kind, Extent: ext})
+}
+
+// DoRequest is Do for a fully-specified Request (e.g. OpProof, which
+// needs Seq). The request's done channel is ignored and replaced.
+func (v *Volume) DoRequest(ctx context.Context, req Request) (Result, error) {
 	done := make(chan Result, 1)
-	req := Request{Kind: kind, Extent: ext, done: done}
+	req.done = done
 	v.mu.RLock()
 	if v.closed {
 		v.mu.RUnlock()
@@ -364,12 +413,44 @@ func (v *Volume) process(req Request) {
 		res.Stats = &st
 	case OpSnapshot:
 		res.Err = v.checkpoint()
+	case OpVerify:
+		res.Audit, res.Err = v.verify()
+	case OpProof:
+		res.Proof, res.Err = v.prove(req.Seq)
 	default:
 		res.Err = fmt.Errorf("volume: unknown op %d", req.Kind)
 	}
 	if req.done != nil {
 		req.done <- res
 	}
+}
+
+// verify audits the journal directory: seal chain, segment roots,
+// checkpoint linkage. The journal is flushed first so the audit sees
+// every acknowledged record. Runs on the actor goroutine only — the
+// actor is idle while VerifyDir reads the files, so the on-disk state
+// is consistent.
+func (v *Volume) verify() (*journal.Audit, error) {
+	if v.wal == nil {
+		return nil, ErrNoJournal
+	}
+	if err := v.wal.Sync(); err != nil {
+		return nil, err
+	}
+	return journal.VerifyDir(v.wal.Dir())
+}
+
+// prove returns the inclusion proof for the seq'th record of the
+// journal's current generation. Runs on the actor goroutine only.
+func (v *Volume) prove(seq int64) (*journal.Proof, error) {
+	if v.wal == nil {
+		return nil, ErrNoJournal
+	}
+	p, err := v.wal.Prove(seq)
+	if err != nil {
+		return nil, err
+	}
+	return &p, nil
 }
 
 // checkpoint persists the layer's full state through the journal. Runs

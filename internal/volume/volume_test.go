@@ -3,6 +3,7 @@ package volume_test
 import (
 	"context"
 	"errors"
+	"os"
 	"reflect"
 	"sync"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"smrseek/internal/core"
 	"smrseek/internal/disk"
 	"smrseek/internal/geom"
+	"smrseek/internal/journal"
 	"smrseek/internal/stl"
 	"smrseek/internal/trace"
 	"smrseek/internal/volume"
@@ -255,6 +257,108 @@ func TestVolumeSnapshotOp(t *testing.T) {
 	if _, err := wal.Do(ctx, volume.OpSnapshot, geom.Extent{}); err != nil {
 		t.Errorf("Snapshot with journal: %v", err)
 	}
+}
+
+// TestVolumeVerifyAndProofOps drives the integrity ops end to end: a
+// journaled volume audits clean, serves verifying inclusion proofs for
+// sealed records, and rejects proof requests for unsealed ones.
+func TestVolumeVerifyAndProofOps(t *testing.T) {
+	ctx := context.Background()
+
+	plain, err := volume.Open(volume.Config{Name: "plain", Sim: core.Config{LogStructured: true, FrontierStart: 4096}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := plain.Do(ctx, volume.OpVerify, geom.Extent{}); !errors.Is(err, volume.ErrNoJournal) {
+		t.Errorf("Verify without journal: %v, want ErrNoJournal", err)
+	}
+	if _, err := plain.DoRequest(ctx, volume.Request{Kind: volume.OpProof, Seq: 1}); !errors.Is(err, volume.ErrNoJournal) {
+		t.Errorf("Proof without journal: %v, want ErrNoJournal", err)
+	}
+
+	v, err := volume.Open(volume.Config{
+		Name: "sealed", Sim: core.Config{LogStructured: true, FrontierStart: 4096},
+		JournalDir: t.TempDir(), SealEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	for i := int64(0); i < 5; i++ {
+		if _, err := v.Do(ctx, volume.OpWrite, geom.Ext(i*8, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := v.Do(ctx, volume.OpVerify, geom.Extent{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Audit == nil || len(res.Audit.Segments) != 2 || res.Audit.SealedRecords != 4 ||
+		res.Audit.TailRecords != 1 || res.Audit.TailTorn {
+		t.Fatalf("audit = %+v", res.Audit)
+	}
+	res, err = v.DoRequest(ctx, volume.Request{Kind: volume.OpProof, Seq: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proof == nil || res.Proof.Verify() != nil || res.Proof.Segment != 1 {
+		t.Fatalf("proof = %+v", res.Proof)
+	}
+	if _, err := v.DoRequest(ctx, volume.Request{Kind: volume.OpProof, Seq: 5}); !errors.Is(err, journal.ErrUnsealed) {
+		t.Errorf("proof of unsealed record: %v, want ErrUnsealed", err)
+	}
+	// A snapshot seals everything; record 5 becomes provable in the next
+	// generation only — the old generation's proofs are folded away.
+	if _, err := v.Do(ctx, volume.OpSnapshot, geom.Extent{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = v.Do(ctx, volume.OpVerify, geom.Extent{})
+	if err != nil || res.Audit.SealedRecords != 0 || !res.Audit.HasCheckpoint {
+		t.Fatalf("post-snapshot audit = %+v, %v", res.Audit, err)
+	}
+}
+
+// TestVolumeRefusesCorruptJournal: recovery verification is on by
+// default and refuses a volume whose sealed journal was tampered with;
+// SkipVerifyOnRecover (and nothing else) lets it open.
+func TestVolumeRefusesCorruptJournal(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cfg := volume.Config{
+		Name: "tamper", Sim: core.Config{LogStructured: true, FrontierStart: 4096},
+		JournalDir: dir, SealEvery: 2,
+	}
+	v, err := volume.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		if _, err := v.Do(ctx, volume.OpWrite, geom.Ext(i*8, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close checkpointed; delete the checkpoint so the journal's anchor
+	// dangles — tampering the linkage without touching a single record.
+	if err := os.Remove(journal.CheckpointPath(dir)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := volume.Open(cfg); !errors.Is(err, journal.ErrCorrupt) {
+		t.Fatalf("open over tampered journal dir: %v, want ErrCorrupt", err)
+	}
+	skip := cfg
+	skip.SkipVerifyOnRecover = true
+	v2, err := volume.Open(skip)
+	if err != nil {
+		t.Fatalf("SkipVerifyOnRecover open: %v", err)
+	}
+	if v2.Recovery == nil || v2.Recovery.Verified {
+		t.Errorf("skip-verify recovery stats: %+v", v2.Recovery)
+	}
+	v2.Close()
 }
 
 func TestVolumeClosed(t *testing.T) {

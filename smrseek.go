@@ -80,6 +80,12 @@ type (
 	Durability = metrics.Durability
 	// ReplayStats summarizes what Recover replayed from the journal.
 	ReplayStats = stl.ReplayStats
+	// JournalAudit is the result of verifying a journal directory's seal
+	// chain and checkpoint linkage (see VerifyJournal).
+	JournalAudit = journal.Audit
+	// InclusionProof is a Merkle inclusion proof for one sealed journal
+	// record (see Journal.Prove); InclusionProof.Verify checks it.
+	InclusionProof = journal.Proof
 	// LS is the log-structured translation layer; Recover returns one,
 	// and Config.CustomLayer accepts it to resume a recovered run.
 	LS = stl.LS
@@ -234,8 +240,23 @@ func OpenJournal(dir string, initFrontier int64) (*Journal, error) {
 // Recover rebuilds the translation layer persisted in dir — checkpoint
 // plus journal replay, stopping cleanly at a torn tail — and reports
 // what replay found. The returned layer can resume simulation as
-// Config.CustomLayer.
+// Config.CustomLayer. It does not verify the seal chain; see
+// RecoverVerified.
 func Recover(dir string) (*LS, ReplayStats, error) { return stl.RecoverDir(dir) }
+
+// RecoverVerified is Recover with the seal-chain audit first: it
+// refuses (journal.ErrCorrupt) to rebuild from a directory whose sealed
+// history or checkpoint linkage does not verify, while torn tails —
+// plain crash residue — still recover to the verified prefix.
+func RecoverVerified(dir string) (*LS, ReplayStats, error) {
+	return stl.RecoverDirWith(dir, stl.RecoverOptions{VerifyOnRecover: true})
+}
+
+// VerifyJournal audits the journal directory without replaying it:
+// frame CRCs, segment Merkle roots, the seal chain, and the
+// checkpoint⇄journal linkage. Corruption returns an error matching
+// journal.ErrCorrupt with the damaged file, segment and offset.
+func VerifyJournal(dir string) (*JournalAudit, error) { return journal.VerifyDir(dir) }
 
 // Workloads returns the names of the 21 cataloged synthetic workloads.
 func Workloads() []string { return workload.Names() }
