@@ -10,6 +10,18 @@
 //	smrd -volumes "hot=defrag+cache,cold=prefetch" -metrics-addr 127.0.0.1:8080
 //	smrd -volumes a -journal-dir /tmp/smrd    # durable: restart resumes
 //
+// Replication (requires -journal-dir on both sides):
+//
+//	smrd -volumes a -journal-dir /d/p -role primary -peers 127.0.0.1:4591
+//	smrd -volumes a -journal-dir /d/f -role follower \
+//	     -listen 127.0.0.1:4591 -replicate-from 127.0.0.1:4590
+//
+// A follower pulls sealed, Merkle-verified journal segments from the
+// primary and serves no data ops until promoted (by a failing-over
+// client or an OpPromote request); the primary gates write
+// acknowledgments on follower acks (see -sync-timeout) and fences
+// itself when a peer serves at a higher epoch.
+//
 // Shut down with SIGINT/SIGTERM: the daemon stops accepting, drains
 // every volume queue, checkpoints journaled state and prints a
 // per-volume summary.
@@ -26,11 +38,13 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"smrseek/internal/core"
 	"smrseek/internal/geom"
 	"smrseek/internal/journal"
 	"smrseek/internal/obsv"
+	"smrseek/internal/repl"
 	"smrseek/internal/report"
 	"smrseek/internal/server"
 	"smrseek/internal/volume"
@@ -60,6 +74,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		sealEvery   = fs.Int64("seal-every", journal.DefaultSegmentSize, "seal a Merkle segment after this many journal records")
 		noVerify    = fs.Bool("no-verify-recover", false, "skip the seal-chain audit before recovering a journaled volume (corrupt journals will then recover as if merely torn)")
 		reqTimeout  = fs.Duration("request-timeout", 0, "per-request execution timeout once queued (0 = none); expiry closes the connection")
+		role        = fs.String("role", "standalone", `replication role: "standalone", "primary" or "follower" (primary/follower require -journal-dir)`)
+		replFrom    = fs.String("replicate-from", "", "follower only: the primary's address to pull sealed journal segments from")
+		peers       = fs.String("peers", "", "comma-separated peer addresses; a primary polls them and fences itself on seeing a higher epoch, a promoted follower does the same")
+		syncTimeout = fs.Duration("sync-timeout", 500*time.Millisecond, "primary: bound on holding a write acknowledgment for a follower ack (0 = fully asynchronous replication)")
+		sealTick    = fs.Duration("force-seal-every", 250*time.Millisecond, "primary: force-seal the journal on this period so acknowledged tail records replicate promptly (0 = only on segment fill)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -69,21 +88,83 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-
-	mgr, err := volume.OpenAll(cfgs...)
-	if err != nil {
-		return err
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(out, format+"\n", a...)
 	}
-	for _, name := range mgr.Names() {
-		v, _ := mgr.Get(name)
-		if v.Recovery != nil {
-			fmt.Fprintf(out, "smrd: volume %s recovered: checkpoint=%v, %d journal records replayed, verified=%v (%d sealed segments)\n",
-				name, v.Recovery.FromCheckpoint, v.Recovery.Replayed, v.Recovery.Verified, v.Recovery.SealedSegments)
+
+	// Replication wiring. A primary subscribes each volume's seal chain
+	// before opening it; a follower opens nothing — its volumes are
+	// recovered at promotion from the journals its pull loops fill.
+	var (
+		repHooks server.ReplHooks
+		prim     *repl.Primary
+		fol      *repl.Follower
+	)
+	switch *role {
+	case "standalone":
+		if *replFrom != "" {
+			return fmt.Errorf("-replicate-from requires -role follower")
+		}
+	case "primary":
+		if *journalDir == "" {
+			return fmt.Errorf("-role primary requires -journal-dir")
+		}
+		prim, err = repl.NewPrimary(repl.PrimaryConfig{
+			Root:           *journalDir,
+			SyncTimeout:    *syncTimeout,
+			ForceSealEvery: *sealTick,
+			Peers:          splitAddrs(*peers),
+			Logf:           logf,
+		})
+		if err != nil {
+			return err
+		}
+		for i := range cfgs {
+			cfgs[i].OnSeal = prim.OnSeal(cfgs[i].Name)
+		}
+		repHooks = prim
+	case "follower":
+		if *journalDir == "" || *replFrom == "" {
+			return fmt.Errorf("-role follower requires -journal-dir and -replicate-from")
+		}
+		fol, err = repl.NewFollower(repl.FollowerConfig{
+			Root:           *journalDir,
+			Source:         *replFrom,
+			Configs:        cfgs,
+			SyncTimeout:    *syncTimeout,
+			ForceSealEvery: *sealTick,
+			Peers:          splitAddrs(*peers),
+			Logf:           logf,
+		})
+		if err != nil {
+			return err
+		}
+		repHooks = fol
+	default:
+		return fmt.Errorf("unknown -role %q (want standalone, primary or follower)", *role)
+	}
+
+	var mgr *volume.Manager
+	if fol == nil {
+		mgr, err = volume.OpenAll(cfgs...)
+		if err != nil {
+			return err
+		}
+		for _, name := range mgr.Names() {
+			v, _ := mgr.Get(name)
+			if v.Recovery != nil {
+				fmt.Fprintf(out, "smrd: volume %s recovered: checkpoint=%v, %d journal records replayed, verified=%v (%d sealed segments)\n",
+					name, v.Recovery.FromCheckpoint, v.Recovery.Replayed, v.Recovery.Verified, v.Recovery.SealedSegments)
+			}
+		}
+		if prim != nil {
+			prim.AttachManager(mgr)
+			fmt.Fprintf(out, "smrd: replication primary at epoch %d\n", prim.Epoch())
 		}
 	}
 
 	var msrv *obsv.Server
-	if *metricsAddr != "" {
+	if *metricsAddr != "" && mgr != nil {
 		msrv, err = obsv.ServeRegistry(*metricsAddr, mgr.Registry(), *pprofFlag)
 		if err != nil {
 			mgr.Close()
@@ -95,35 +176,69 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		mgr.Close()
+		if mgr != nil {
+			mgr.Close()
+		}
 		return err
 	}
 	srv := server.New(mgr, ln, server.Options{
 		RequestTimeout: *reqTimeout,
-		Logf: func(format string, a ...any) {
-			fmt.Fprintf(out, format+"\n", a...)
-		},
+		Repl:           repHooks,
+		Logf:           logf,
 	})
-	fmt.Fprintf(out, "smrd: listening on %s (volumes: %s)\n", srv.Addr(), strings.Join(mgr.Names(), ", "))
+	if fol != nil {
+		fol.AttachServer(srv)
+		fol.Start()
+		fmt.Fprintf(out, "smrd: listening on %s (follower of %s, epoch %d)\n", srv.Addr(), *replFrom, fol.Epoch())
+	} else {
+		fmt.Fprintf(out, "smrd: listening on %s (volumes: %s)\n", srv.Addr(), strings.Join(mgr.Names(), ", "))
+	}
 
 	<-ctx.Done()
 	fmt.Fprintln(out, "smrd: shutting down")
 	// Ordering matters: stop the network first so no request can race a
-	// closing volume, then drain + checkpoint the volumes.
+	// closing volume, then the replication loops, then drain + checkpoint
+	// the volumes.
 	srv.Close()
-	closeErr := mgr.Close()
+	if fol != nil {
+		fol.Close()
+		mgr = fol.Manager() // non-nil iff this follower was promoted
+	}
+	if prim != nil {
+		prim.Close()
+	}
+	var closeErr error
+	if mgr != nil {
+		closeErr = mgr.Close()
+	}
+	if prim != nil && prim.Degraded() > 0 {
+		fmt.Fprintf(out, "smrd: %d write acks released by degrade timeout (follower lagging)\n", prim.Degraded())
+	}
 
 	tbl := report.NewTable("per-volume summary", "volume", "reads", "writes", "frag reads", "read seeks")
-	for _, name := range mgr.Names() {
-		v, _ := mgr.Get(name)
-		st := v.Stats()
-		tbl.AddRow(name, report.HumanCount(st.Reads), report.HumanCount(st.Writes),
-			report.HumanCount(st.FragmentedReads), report.HumanCount(st.Disk.ReadSeeks))
+	if mgr != nil {
+		for _, name := range mgr.Names() {
+			v, _ := mgr.Get(name)
+			st := v.Stats()
+			tbl.AddRow(name, report.HumanCount(st.Reads), report.HumanCount(st.Writes),
+				report.HumanCount(st.FragmentedReads), report.HumanCount(st.Disk.ReadSeeks))
+		}
 	}
 	if err := tbl.Render(out); err != nil {
 		return err
 	}
 	return closeErr
+}
+
+// splitAddrs splits a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // parseVolumes expands the -volumes spec into volume configurations.

@@ -1,0 +1,193 @@
+// Package chaos is a fault-injection harness for replicated smrd: it
+// stands up in-process primary/follower nodes over real TCP listeners,
+// routes replication traffic through a killable, partitionable,
+// byte-corrupting proxy, and exposes the crash-shaped failure modes the
+// chaos tests drive — kill the primary mid-load, partition and heal the
+// follower, slow the link, corrupt shipped segments.
+//
+// Kill is deliberately crash-shaped: it stops the server and the
+// replication loops but never drains or checkpoints the volumes, so the
+// journal directories are left exactly as a SIGKILL would leave them.
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"time"
+
+	"smrseek/internal/core"
+	"smrseek/internal/geom"
+	"smrseek/internal/repl"
+	"smrseek/internal/server"
+	"smrseek/internal/volume"
+)
+
+// Config shapes one node.
+type Config struct {
+	// Volumes are the volume names (each journals under Root/<name>).
+	Volumes []string
+	// Frontier is every volume's log frontier start sector.
+	Frontier geom.Sector
+	// SealEvery / CheckpointEvery are the journal cadences (records).
+	SealEvery       int64
+	CheckpointEvery int64
+	// SyncTimeout / ForceSealEvery / TailWait / PollEvery tune the
+	// replication primary (see repl.PrimaryConfig).
+	SyncTimeout    time.Duration
+	ForceSealEvery time.Duration
+	TailWait       time.Duration
+	PollEvery      time.Duration
+	// Peers are polled for a higher fencing epoch.
+	Peers []string
+	// Source is the address a follower pulls from.
+	Source string
+	// Logf receives node diagnostics (nil = discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) logf() func(string, ...any) {
+	if c.Logf != nil {
+		return c.Logf
+	}
+	return func(string, ...any) {}
+}
+
+// volConfigs expands the node config into volume configurations.
+func (c Config) volConfigs(root string) []volume.Config {
+	cfgs := make([]volume.Config, 0, len(c.Volumes))
+	for _, name := range c.Volumes {
+		cfgs = append(cfgs, volume.Config{
+			Name:            name,
+			Sim:             core.Config{LogStructured: true, FrontierStart: c.Frontier},
+			JournalDir:      filepath.Join(root, name),
+			SealEvery:       c.SealEvery,
+			CheckpointEvery: c.CheckpointEvery,
+		})
+	}
+	return cfgs
+}
+
+// Node is one in-process smrd node.
+type Node struct {
+	Root string
+	Addr string
+	Prim *repl.Primary  // non-nil on a primary
+	Fol  *repl.Follower // non-nil on a follower
+
+	srv    *server.Server
+	mgr    *volume.Manager
+	killed bool
+}
+
+// StartPrimary opens the volumes under root with replication attached
+// and serves them on a fresh loopback listener.
+func StartPrimary(root string, cfg Config) (*Node, error) {
+	prim, err := repl.NewPrimary(repl.PrimaryConfig{
+		Root:           root,
+		SyncTimeout:    cfg.SyncTimeout,
+		ForceSealEvery: cfg.ForceSealEvery,
+		TailWait:       cfg.TailWait,
+		PollEvery:      cfg.PollEvery,
+		Peers:          cfg.Peers,
+		Logf:           cfg.logf(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfgs := cfg.volConfigs(root)
+	for i := range cfgs {
+		cfgs[i].OnSeal = prim.OnSeal(cfgs[i].Name)
+	}
+	mgr, err := volume.OpenAll(cfgs...)
+	if err != nil {
+		prim.Close()
+		return nil, err
+	}
+	prim.AttachManager(mgr)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		prim.Close()
+		mgr.Close()
+		return nil, err
+	}
+	srv := server.New(mgr, ln, server.Options{Repl: prim, Logf: cfg.logf()})
+	return &Node{Root: root, Addr: ln.Addr().String(), Prim: prim, srv: srv, mgr: mgr}, nil
+}
+
+// StartFollower serves an unpromoted follower pulling from cfg.Source
+// into journal directories under root.
+func StartFollower(root string, cfg Config) (*Node, error) {
+	if cfg.Source == "" {
+		return nil, fmt.Errorf("chaos: follower needs a Source")
+	}
+	fol, err := repl.NewFollower(repl.FollowerConfig{
+		Root:           root,
+		Source:         cfg.Source,
+		Configs:        cfg.volConfigs(root),
+		SyncTimeout:    cfg.SyncTimeout,
+		ForceSealEvery: cfg.ForceSealEvery,
+		TailWait:       cfg.TailWait,
+		PollEvery:      cfg.PollEvery,
+		Peers:          cfg.Peers,
+		Logf:           cfg.logf(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fol.Close()
+		return nil, err
+	}
+	srv := server.New(nil, ln, server.Options{Repl: fol, Logf: cfg.logf()})
+	fol.AttachServer(srv)
+	fol.Start()
+	return &Node{Root: root, Addr: ln.Addr().String(), Fol: fol, srv: srv}, nil
+}
+
+// Kill is the crash: the server drops every connection and the
+// replication loops stop, but no volume is drained or checkpointed —
+// the journal directories read exactly as after a SIGKILL. Volume
+// actors are leaked until Close.
+func (n *Node) Kill() {
+	if n.killed {
+		return
+	}
+	n.killed = true
+	n.srv.Close()
+	if n.Prim != nil {
+		n.Prim.Close()
+	}
+	if n.Fol != nil {
+		n.Fol.Close()
+	}
+}
+
+// Close shuts the node down gracefully: network first, replication
+// loops, then volume drain + checkpoint. After Kill it only reaps the
+// leaked volume actors (which still checkpoints their journals — run
+// on-disk assertions before Close).
+func (n *Node) Close() error {
+	if !n.killed {
+		n.Kill()
+	}
+	mgr := n.mgr
+	if n.Fol != nil && mgr == nil {
+		mgr = n.Fol.Manager()
+	}
+	if mgr != nil {
+		return mgr.Close()
+	}
+	return nil
+}
+
+// Role asks the node for its replication role over the wire.
+func (n *Node) Role() (server.RoleInfo, error) {
+	c, err := server.Dial(n.Addr)
+	if err != nil {
+		return server.RoleInfo{}, err
+	}
+	defer c.Close()
+	return c.Role()
+}

@@ -1,0 +1,530 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"smrseek/internal/journal"
+	"smrseek/internal/server"
+	"smrseek/internal/volume"
+)
+
+// FollowerConfig tunes a replication follower.
+type FollowerConfig struct {
+	// Root is the local journal root directory; the fencing-epoch file
+	// lives here.
+	Root string
+	// Source is the primary's address.
+	Source string
+	// Configs are the volume configurations to open at promotion. Their
+	// JournalDir fields name the local per-volume journal directories the
+	// pull loops fill; every config must have one.
+	Configs []volume.Config
+	// Retry is the pause after a pull error before redialing
+	// (0 = 100ms).
+	Retry time.Duration
+	// SyncTimeout, ForceSealEvery, TailWait, Peers and PollEvery carry
+	// into the Primary this node becomes at promotion.
+	SyncTimeout    time.Duration
+	ForceSealEvery time.Duration
+	TailWait       time.Duration
+	Peers          []string
+	PollEvery      time.Duration
+	// Logf receives replication diagnostics (nil = log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Follower implements server.ReplHooks for the catching-up side: it
+// pulls sealed journal chunks from the source, verifies each received
+// prefix before persisting it, acks its applied position, and — on
+// Promote — recovers the replicated journals with full verification and
+// becomes the serving primary at a bumped fencing epoch.
+type Follower struct {
+	cfg FollowerConfig
+
+	mu       sync.Mutex
+	pos      map[string]server.ReplPosition // verified, applied positions
+	epoch    uint64                         // highest epoch seen from the source
+	rejects  int64                          // chunks rejected by verification
+	prim      *Primary        // non-nil once promoted
+	srv       *server.Server  // for SetManager at promotion
+	mgr       *volume.Manager // owned after promotion
+	promoting bool            // a Promote is in flight (mu drops to quiesce)
+	promoDone chan struct{}   // closed when that Promote finishes
+	promoErr  error           // sticky promotion failure
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewFollower loads the persisted epoch and returns a follower; Start
+// launches the pull loops.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Retry <= 0 {
+		cfg.Retry = 100 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	for _, vc := range cfg.Configs {
+		if vc.JournalDir == "" {
+			return nil, fmt.Errorf("repl: follower volume %q has no journal directory", vc.Name)
+		}
+		if err := os.MkdirAll(vc.JournalDir, 0o777); err != nil {
+			return nil, err
+		}
+	}
+	epoch, err := LoadEpoch(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Follower{
+		cfg:    cfg,
+		pos:    make(map[string]server.ReplPosition),
+		epoch:  epoch,
+		ctx:    ctx,
+		cancel: cancel,
+	}, nil
+}
+
+// AttachServer gives the follower the server to install the recovered
+// volume set into at promotion.
+func (f *Follower) AttachServer(s *server.Server) { f.srv = s }
+
+// Start launches one pull loop per volume.
+func (f *Follower) Start() {
+	for _, vc := range f.cfg.Configs {
+		f.wg.Add(1)
+		go f.pull(vc.Name, vc.JournalDir)
+	}
+}
+
+// Close stops the pull loops (and the promoted primary, if any). It
+// does not close the promoted volume manager: the caller owns volume
+// shutdown ordering, via Manager.
+func (f *Follower) Close() {
+	f.cancel()
+	f.wg.Wait()
+	f.mu.Lock()
+	prim := f.prim
+	f.mu.Unlock()
+	if prim != nil {
+		prim.Close()
+	}
+}
+
+// Manager returns the volume set opened at promotion (nil before).
+func (f *Follower) Manager() *volume.Manager {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mgr
+}
+
+// Rejects returns how many shipped chunks verification refused.
+func (f *Follower) Rejects() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rejects
+}
+
+// promoted returns the post-promotion primary, or nil.
+func (f *Follower) promoted() *Primary {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.prim
+}
+
+// Role reports "follower" with the verified applied positions, or the
+// promoted primary's role.
+func (f *Follower) Role() server.RoleInfo {
+	if p := f.promoted(); p != nil {
+		return p.Role()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	vols := make(map[string]server.ReplPosition, len(f.pos))
+	for name, pos := range f.pos {
+		vols[name] = pos
+	}
+	return server.RoleInfo{Role: "follower", Epoch: f.epoch, Volumes: vols}
+}
+
+// Epoch returns the highest fencing epoch this node has seen or been
+// promoted to.
+func (f *Follower) Epoch() uint64 {
+	if p := f.promoted(); p != nil {
+		return p.Epoch()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// AcceptingData is false until promotion.
+func (f *Follower) AcceptingData() bool {
+	p := f.promoted()
+	return p != nil && p.AcceptingData()
+}
+
+// GateWrite delegates to the promoted primary (no-op before promotion:
+// an unpromoted follower serves no writes).
+func (f *Follower) GateWrite(vol string, seq int64) {
+	if p := f.promoted(); p != nil {
+		p.GateWrite(vol, seq)
+	}
+}
+
+// WaitTail delegates to the promoted primary; before promotion it
+// returns immediately (OpTail degenerates to OpShip, and an unpromoted
+// follower has no open volumes to ship from anyway).
+func (f *Follower) WaitTail(ctx context.Context, vol string, gen uint64, off int64) {
+	if p := f.promoted(); p != nil {
+		p.WaitTail(ctx, vol, gen, off)
+	}
+}
+
+// Ack delegates to the promoted primary and is dropped before
+// promotion.
+func (f *Follower) Ack(vol string, gen uint64, off int64) {
+	if p := f.promoted(); p != nil {
+		p.Ack(vol, gen, off)
+	}
+}
+
+// Promote turns this follower into the serving primary: it stops the
+// pull loops, bumps and persists the fencing epoch, opens every volume
+// over the replicated journal directories — verified recovery, the same
+// path crash recovery takes — installs the set into the server, and
+// starts serving. Idempotent once promoted; a failed promotion is
+// sticky (the pull loops are gone and the journals may be half-opened).
+func (f *Follower) Promote() (server.RoleInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.promoting {
+		// Another connection is mid-promotion; wait for its outcome.
+		done := f.promoDone
+		f.mu.Unlock()
+		<-done
+		f.mu.Lock()
+	}
+	if f.prim != nil {
+		return f.prim.Role(), nil
+	}
+	if f.promoErr != nil {
+		return server.RoleInfo{}, f.promoErr
+	}
+	f.promoting = true
+	f.promoDone = make(chan struct{})
+	defer func() {
+		f.promoting = false
+		close(f.promoDone)
+	}()
+
+	// Quiesce the pull loops so nothing appends to the journal files
+	// while recovery reads them.
+	f.cancel()
+	f.mu.Unlock()
+	f.wg.Wait()
+	f.mu.Lock()
+
+	if err := StoreEpoch(f.cfg.Root, f.epoch+1); err != nil {
+		f.promoErr = fmt.Errorf("repl: promote: %w", err)
+		return server.RoleInfo{}, f.promoErr
+	}
+	f.epoch++
+
+	prim, err := NewPrimary(PrimaryConfig{
+		Root:           f.cfg.Root,
+		SyncTimeout:    f.cfg.SyncTimeout,
+		ForceSealEvery: f.cfg.ForceSealEvery,
+		TailWait:       f.cfg.TailWait,
+		Peers:          f.cfg.Peers,
+		PollEvery:      f.cfg.PollEvery,
+		Logf:           f.cfg.Logf,
+	})
+	if err != nil {
+		f.promoErr = fmt.Errorf("repl: promote: %w", err)
+		return server.RoleInfo{}, f.promoErr
+	}
+	cfgs := make([]volume.Config, len(f.cfg.Configs))
+	for i, vc := range f.cfg.Configs {
+		vc.OnSeal = prim.OnSeal(vc.Name)
+		cfgs[i] = vc
+	}
+	mgr, err := volume.OpenAll(cfgs...)
+	if err != nil {
+		prim.Close()
+		f.promoErr = fmt.Errorf("repl: promote: verified recovery failed: %w", err)
+		return server.RoleInfo{}, f.promoErr
+	}
+	prim.AttachManager(mgr)
+	f.mgr = mgr
+	f.prim = prim
+	if f.srv != nil {
+		f.srv.SetManager(mgr)
+	}
+	f.cfg.Logf("repl: promoted to primary at epoch %d (%d volumes recovered)", f.epoch, len(cfgs))
+	return prim.Role(), nil
+}
+
+// pull is one volume's replication loop: scan the local journal state,
+// long-poll the source for the next chunk past it, verify, persist,
+// ack, repeat.
+func (f *Follower) pull(name, dir string) {
+	defer f.wg.Done()
+	var c *server.Client
+	defer func() {
+		if c != nil {
+			c.Close()
+		}
+	}()
+	var (
+		raw []byte // verified local journal bytes (sealed prefix)
+		pos server.ReplPosition
+	)
+	scanned := false
+	for f.ctx.Err() == nil {
+		if c == nil {
+			var err error
+			c, err = server.DialContext(f.ctx, f.cfg.Source)
+			if err != nil {
+				f.sleep()
+				continue
+			}
+			// Pull handles its own redial; Step-level reconnection would
+			// only hide source death.
+			c.SetReconnect(server.ReconnectPolicy{})
+		}
+		if !scanned {
+			var err error
+			pos, raw, err = f.scanLocal(dir)
+			if err != nil {
+				f.cfg.Logf("repl: %s: local journal state unusable: %v", name, err)
+				return
+			}
+			f.setPos(name, pos)
+			scanned = true
+		}
+		epoch, chunk, err := c.Tail(name, pos.Gen, pos.Bytes)
+		if err != nil {
+			var se *server.StatusError
+			if errors.As(err, &se) {
+				// The source is alive but cannot feed us right now — it is
+				// fenced, demoted, or sees us as ahead. Keep polling: chaos
+				// heals partitions and a fenced source may be all we have.
+				f.sleep()
+				continue
+			}
+			c.Close()
+			c = nil
+			f.sleep()
+			continue
+		}
+		f.observeEpoch(epoch)
+		switch chunk.Kind {
+		case journal.ShipNone:
+			// The long poll expired with nothing new; ask again.
+		case journal.ShipCheckpoint:
+			newPos, err := f.applyCheckpoint(dir, chunk)
+			if err != nil {
+				f.reject(name, err)
+				continue
+			}
+			raw, pos = nil, newPos
+			f.setPos(name, pos)
+			_ = c.Ack(name, pos.Gen, pos.Bytes)
+		case journal.ShipSegments:
+			newRaw, newPos, err := f.applySegments(dir, raw, pos, chunk)
+			if err != nil {
+				f.reject(name, err)
+				continue
+			}
+			raw, pos = newRaw, newPos
+			f.setPos(name, pos)
+			_ = c.Ack(name, pos.Gen, pos.Bytes)
+		default:
+			f.reject(name, fmt.Errorf("unknown ship kind %d", chunk.Kind))
+		}
+	}
+}
+
+// scanLocal reads the volume's local journal directory and returns the
+// verified position to resume pulling from, truncating crash residue
+// (a torn tail past the last seal) first.
+func (f *Follower) scanLocal(dir string) (server.ReplPosition, []byte, error) {
+	snap, err := journal.ReadCheckpointFile(journal.CheckpointPath(dir))
+	if err != nil {
+		return server.ReplPosition{}, nil, err
+	}
+	raw, err := os.ReadFile(journal.JournalPath(dir))
+	if os.IsNotExist(err) {
+		if snap != nil {
+			return server.ReplPosition{Gen: snap.Generation + 1}, nil, nil
+		}
+		return server.ReplPosition{}, nil, nil
+	}
+	if err != nil {
+		return server.ReplPosition{}, nil, err
+	}
+	d, err := journal.ScanBytes(raw)
+	if err != nil {
+		return server.ReplPosition{}, nil, err
+	}
+	if snap != nil && d.Generation <= snap.Generation {
+		// Stale pre-checkpoint generation (crash between checkpoint
+		// install and journal removal): subsumed, discard it.
+		if err := os.Remove(journal.JournalPath(dir)); err != nil {
+			return server.ReplPosition{}, nil, err
+		}
+		return server.ReplPosition{Gen: snap.Generation + 1}, nil, nil
+	}
+	end := journal.SealedEndOf(d)
+	if end < int64(len(raw)) {
+		// A crash mid-append left bytes past the last verified seal; we
+		// only ack sealed bytes, so drop them and re-pull.
+		if err := os.Truncate(journal.JournalPath(dir), end); err != nil {
+			return server.ReplPosition{}, nil, err
+		}
+		raw = raw[:end]
+	}
+	return server.ReplPosition{Gen: d.Generation, Bytes: end, Records: d.Sealed}, raw, nil
+}
+
+// applyCheckpoint verifies and durably installs a shipped checkpoint,
+// discarding the subsumed local journal, and returns the position to
+// resume at: generation ckpt+1, offset 0.
+func (f *Follower) applyCheckpoint(dir string, chunk journal.ShipChunk) (server.ReplPosition, error) {
+	snap, err := journal.ReadCheckpoint(bytes.NewReader(chunk.Data))
+	if err != nil {
+		return server.ReplPosition{}, fmt.Errorf("shipped checkpoint does not verify: %w", err)
+	}
+	if snap.Generation != chunk.Gen {
+		return server.ReplPosition{}, fmt.Errorf("shipped checkpoint generation %d, chunk says %d", snap.Generation, chunk.Gen)
+	}
+	if err := writeFileAtomic(journal.CheckpointPath(dir), chunk.Data); err != nil {
+		return server.ReplPosition{}, err
+	}
+	if err := os.Remove(journal.JournalPath(dir)); err != nil && !os.IsNotExist(err) {
+		return server.ReplPosition{}, err
+	}
+	return server.ReplPosition{Gen: snap.Generation + 1}, nil
+}
+
+// applySegments verifies a shipped byte range as the continuation of
+// the local sealed prefix and persists it. The whole resulting prefix
+// is re-verified — every frame CRC, every Merkle root, the seal chain,
+// and the linkage to the local checkpoint — before any byte reaches
+// disk; a chunk that fails is rejected without side effects.
+func (f *Follower) applySegments(dir string, raw []byte, pos server.ReplPosition, chunk journal.ShipChunk) ([]byte, server.ReplPosition, error) {
+	var candidate []byte
+	fresh := chunk.Off == 0
+	if fresh {
+		candidate = chunk.Data
+	} else {
+		if chunk.Gen != pos.Gen || chunk.Off != pos.Bytes {
+			return nil, pos, fmt.Errorf("chunk at (gen %d, off %d), local position (gen %d, off %d)",
+				chunk.Gen, chunk.Off, pos.Gen, pos.Bytes)
+		}
+		candidate = make([]byte, 0, int64(len(chunk.Data))+pos.Bytes)
+		candidate = append(candidate, raw[:pos.Bytes]...)
+		candidate = append(candidate, chunk.Data...)
+	}
+	d, err := journal.ScanBytes(candidate)
+	if err != nil {
+		return nil, pos, fmt.Errorf("shipped prefix does not verify: %w", err)
+	}
+	if d.Torn || journal.SealedEndOf(d) != int64(len(candidate)) {
+		return nil, pos, fmt.Errorf("shipped chunk does not end on a seal boundary")
+	}
+	if d.Generation != chunk.Gen {
+		return nil, pos, fmt.Errorf("shipped header generation %d, chunk says %d", d.Generation, chunk.Gen)
+	}
+	snap, err := journal.ReadCheckpointFile(journal.CheckpointPath(dir))
+	if err != nil {
+		return nil, pos, err
+	}
+	switch {
+	case snap == nil && !d.Anchor.IsZero():
+		return nil, pos, fmt.Errorf("shipped journal anchors at %s with no local checkpoint", d.Anchor.Short())
+	case snap != nil && d.Generation != snap.Generation+1:
+		return nil, pos, fmt.Errorf("shipped generation %d does not succeed local checkpoint %d",
+			d.Generation, snap.Generation)
+	case snap != nil && d.Anchor != snap.Chain:
+		return nil, pos, fmt.Errorf("shipped anchor %s does not match local checkpoint chain %s",
+			d.Anchor.Short(), snap.Chain.Short())
+	}
+
+	if fresh {
+		if err := writeFileAtomic(journal.JournalPath(dir), candidate); err != nil {
+			return nil, pos, err
+		}
+	} else {
+		if err := appendAt(journal.JournalPath(dir), chunk.Off, chunk.Data); err != nil {
+			return nil, pos, err
+		}
+	}
+	return candidate, server.ReplPosition{
+		Gen:     d.Generation,
+		Bytes:   int64(len(candidate)),
+		Records: d.Sealed,
+	}, nil
+}
+
+// appendAt writes data at byte offset off of path and fsyncs.
+func appendAt(path string, off int64, data []byte) error {
+	fd, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	if _, err := fd.WriteAt(data, off); err != nil {
+		return err
+	}
+	return fd.Sync()
+}
+
+// reject logs and counts a chunk that verification refused.
+func (f *Follower) reject(name string, err error) {
+	f.mu.Lock()
+	f.rejects++
+	f.mu.Unlock()
+	f.cfg.Logf("repl: %s: rejected shipped chunk: %v", name, err)
+	f.sleep()
+}
+
+// setPos publishes a volume's verified applied position.
+func (f *Follower) setPos(name string, pos server.ReplPosition) {
+	f.mu.Lock()
+	f.pos[name] = pos
+	f.mu.Unlock()
+}
+
+// observeEpoch adopts a higher fencing epoch seen from the source,
+// persisting it so a restart cannot regress.
+func (f *Follower) observeEpoch(epoch uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if epoch > f.epoch {
+		if err := StoreEpoch(f.cfg.Root, epoch); err != nil {
+			f.cfg.Logf("repl: persisting epoch %d: %v", epoch, err)
+			return
+		}
+		f.epoch = epoch
+	}
+}
+
+// sleep pauses the pull loop for the retry interval (or until Close).
+func (f *Follower) sleep() {
+	select {
+	case <-f.ctx.Done():
+	case <-time.After(f.cfg.Retry):
+	}
+}

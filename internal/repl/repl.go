@@ -1,0 +1,105 @@
+// Package repl replicates smrd volumes from a primary to followers by
+// shipping sealed journal segments over the smrd wire protocol.
+//
+// The model is pull-based and byte-exact. Within one generation the
+// journal file is append-only with an immutable sealed prefix, so a
+// follower's journal file is always a byte-identical prefix of the
+// primary's. A follower long-polls OpTail for the next chunk past its
+// (generation, offset) position; chunks end exactly on seal-frame
+// boundaries, so the follower re-verifies the whole received prefix —
+// every frame CRC, every segment Merkle root, the seal chain and the
+// checkpoint linkage — before a byte of it is persisted, and rejects
+// anything that does not check out. A follower that is behind a
+// checkpoint rebirth receives the checkpoint file itself and resumes at
+// the next generation.
+//
+// Writes on the primary are acknowledged semi-synchronously: OpWrite's
+// response is held until a follower ack covers the write's journal
+// watermark, with a bounded degrade window so a dead or slow follower
+// costs latency, not availability (degrades are counted). A force-seal
+// tick bounds how long acknowledged records can sit unsealed — and
+// therefore unshipped.
+//
+// Promotion recovers the follower's replicated journals with full
+// verification (the same path crash recovery takes), starts serving,
+// and bumps the persisted fencing epoch. An old primary that rejoins
+// discovers the higher epoch on its peer poll and fences itself:
+// it refuses data ops with StatusNotPrimary instead of split-braining.
+package repl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// FenceFile is the name of the fencing-epoch file, stored in the
+// journal root directory (the parent of the per-volume journal dirs).
+const FenceFile = "EPOCH"
+
+// LoadEpoch reads the persisted fencing epoch under root; a missing
+// file is epoch 0 (never promoted, never fenced).
+func LoadEpoch(root string) (uint64, error) {
+	raw, err := os.ReadFile(filepath.Join(root, FenceFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	e, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("repl: fence file %s: %w", filepath.Join(root, FenceFile), err)
+	}
+	return e, nil
+}
+
+// StoreEpoch durably persists the fencing epoch under root
+// (write-temp, fsync, rename, fsync dir), creating root if needed — on
+// first boot the epoch is written before any volume opens its journal
+// directory.
+func StoreEpoch(root string, epoch uint64) error {
+	if err := os.MkdirAll(root, 0o777); err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(root, FenceFile), []byte(strconv.FormatUint(epoch, 10)+"\n"))
+}
+
+// writeFileAtomic replaces path's contents via a same-directory temp
+// file, fsyncing both the file and its directory so the replacement
+// survives a crash.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".repl-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

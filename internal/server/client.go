@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -96,16 +97,31 @@ type Client struct {
 // Dial connects and performs the protocol handshake, retrying refused
 // connections briefly (the daemon may still be binding its listener).
 func Dial(addr string) (*Client, error) {
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext is Dial with caller-controlled cancellation: the
+// connection attempt, its retries and the retry sleeps all end when ctx
+// does. Replica sets use it to bound how long probing a dead node may
+// take.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
 	var (
+		d    net.Dialer
 		conn net.Conn
 		err  error
 	)
 	for attempt := 0; attempt < 20; attempt++ {
-		conn, err = net.Dial("tcp", addr)
+		conn, err = d.DialContext(ctx, "tcp", addr)
 		if err == nil {
 			break
 		}
-		time.Sleep(25 * time.Millisecond)
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(25 * time.Millisecond):
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("smrd: dial %s: %w", addr, err)
@@ -271,6 +287,64 @@ func (c *Client) step(vol string, rec trace.Record) (int, error) {
 	default:
 		return 0, fmt.Errorf("smrd: unsupported record kind %v", rec.Kind)
 	}
+}
+
+// Ship asks the node for the next replication chunk of the volume's
+// journal past (gen, off). It returns the responding node's fencing
+// epoch alongside the chunk.
+func (c *Client) Ship(vol string, gen uint64, off int64) (uint64, journal.ShipChunk, error) {
+	body, err := c.roundTrip(request{Op: OpShip, Volume: vol, Gen: gen, Off: off})
+	if err != nil {
+		return 0, journal.ShipChunk{}, err
+	}
+	return parseShipBody(body)
+}
+
+// Tail is Ship with long-poll semantics: the server holds the request
+// until sealed bytes exist past (gen, off) — force-sealing a lagging
+// tail — or its bounded wait expires (returning a ShipNone chunk).
+func (c *Client) Tail(vol string, gen uint64, off int64) (uint64, journal.ShipChunk, error) {
+	body, err := c.roundTrip(request{Op: OpTail, Volume: vol, Gen: gen, Off: off})
+	if err != nil {
+		return 0, journal.ShipChunk{}, err
+	}
+	return parseShipBody(body)
+}
+
+// Ack reports this follower's verified, applied journal position for the
+// volume, so the primary can release gated writes and track lag.
+func (c *Client) Ack(vol string, gen uint64, off int64) error {
+	_, err := c.roundTrip(request{Op: OpAck, Volume: vol, Gen: gen, Off: off})
+	return err
+}
+
+// Role returns the node's replication role, fencing epoch and
+// per-volume journal positions.
+func (c *Client) Role() (RoleInfo, error) {
+	body, err := c.roundTrip(request{Op: OpRole})
+	if err != nil {
+		return RoleInfo{}, err
+	}
+	var info RoleInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return RoleInfo{}, fmt.Errorf("smrd: role decode: %w", err)
+	}
+	return info, nil
+}
+
+// Promote asks a follower to promote itself to primary — verified
+// recovery of every replicated journal, epoch bump, serving enabled —
+// and returns its post-promotion role.
+func (c *Client) Promote() (RoleInfo, error) {
+	body, err := c.roundTrip(request{Op: OpPromote})
+	if err != nil {
+		return RoleInfo{}, err
+	}
+	var info RoleInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return RoleInfo{}, fmt.Errorf("smrd: promote decode: %w", err)
+	}
+	return info, nil
 }
 
 // Replay streams every record of r to the named volume in order and

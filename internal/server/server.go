@@ -10,6 +10,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smrseek/internal/core"
@@ -18,14 +19,51 @@ import (
 	"smrseek/internal/volume"
 )
 
+// ReplHooks is the server's view of a replication node (see
+// internal/repl). A nil hooks set means a standalone daemon: every data
+// op is served, ship is answered from the volume's journal directly,
+// tail degenerates to an immediate ship, and acks are dropped.
+//
+// The interface lives here (not in internal/repl) because repl imports
+// this package for its client side; the server only ever calls through
+// these methods.
+type ReplHooks interface {
+	// Role reports the node's current role, epoch and positions.
+	Role() RoleInfo
+	// Epoch returns the node's fencing epoch.
+	Epoch() uint64
+	// AcceptingData reports whether data ops (read/write/stat/...) may be
+	// served: true on an unfenced primary, false on followers and on a
+	// demoted ex-primary.
+	AcceptingData() bool
+	// GateWrite blocks until the write covering journal watermark seq on
+	// vol has replicated per the node's policy, or a bounded degrade
+	// window expires. Called on the connection goroutine after the write
+	// executed and before its acknowledgment is sent.
+	GateWrite(vol string, seq int64)
+	// WaitTail blocks until vol plausibly has sealed bytes past
+	// (gen, off) — force-sealing a lagging tail as needed — or a bounded
+	// poll window expires. The caller then ships whatever is there.
+	WaitTail(ctx context.Context, vol string, gen uint64, off int64)
+	// Ack records a follower's applied position (gen, off) on vol.
+	Ack(vol string, gen uint64, off int64)
+	// Promote turns a follower into the serving primary (verified
+	// recovery, epoch bump). Idempotent on a node that is already
+	// primary.
+	Promote() (RoleInfo, error)
+}
+
 // Options tunes the server; the zero value is usable.
 type Options struct {
 	// RequestTimeout bounds one request's execution once admitted to a
 	// volume queue (0 = no bound). On expiry the client gets
 	// StatusTimeout and the connection is closed: the request is still
 	// queued and will execute, so the connection's synchronous ordering
-	// guarantee no longer holds.
+	// guarantee no longer holds. The in-flight result is drained in the
+	// background (see Abandoned).
 	RequestTimeout time.Duration
+	// Repl attaches replication behavior (nil = standalone).
+	Repl ReplHooks
 	// Logf receives connection-level diagnostics (nil = log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -34,7 +72,7 @@ type Options struct {
 // against a volume.Manager. One goroutine per connection; each volume's
 // actor serializes execution, so any number of connections is safe.
 type Server struct {
-	mgr  *volume.Manager
+	mgr  atomic.Pointer[volume.Manager]
 	opts Options
 	ln   net.Listener
 
@@ -42,29 +80,45 @@ type Server struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	abandoned atomic.Int64
+
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 }
 
 // New builds a server over mgr and starts accepting on ln. It takes
-// ownership of ln.
+// ownership of ln. mgr may be nil — an unpromoted follower has no open
+// volumes — in which case every volume op is rejected with
+// StatusNotPrimary until SetManager installs one.
 func New(mgr *volume.Manager, ln net.Listener, opts Options) *Server {
 	if opts.Logf == nil {
 		opts.Logf = log.Printf
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		mgr:    mgr,
 		opts:   opts,
 		ln:     ln,
 		ctx:    ctx,
 		cancel: cancel,
 		conns:  make(map[net.Conn]struct{}),
 	}
+	s.mgr.Store(mgr)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
 }
+
+// SetManager installs (or replaces) the volume set the server executes
+// against. Promotion uses it to begin serving the recovered volumes.
+func (s *Server) SetManager(mgr *volume.Manager) { s.mgr.Store(mgr) }
+
+// Manager returns the currently installed volume set (nil before
+// promotion on a follower).
+func (s *Server) Manager() *volume.Manager { return s.mgr.Load() }
+
+// Abandoned returns how many timed-out or shutdown-abandoned requests
+// have since completed and had their results drained in the background.
+func (s *Server) Abandoned() int64 { return s.abandoned.Load() }
 
 // Addr returns the listener's address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
@@ -154,7 +208,34 @@ func (s *Server) handle(out, frame []byte, done chan volume.Result) ([]byte, boo
 	if err != nil {
 		return appendResponse(out, StatusBadRequest, []byte(err.Error())), true
 	}
-	vol, ok := s.mgr.Get(req.Volume)
+
+	// Node-level ops need no volume and are always served, whatever the
+	// node's role — they are how clients discover and change the role.
+	switch req.Op {
+	case OpRole:
+		return s.appendRole(out, s.roleInfo(), nil), true
+	case OpPromote:
+		if s.opts.Repl == nil {
+			// A standalone daemon is trivially the primary already.
+			return s.appendRole(out, s.roleInfo(), nil), true
+		}
+		info, err := s.opts.Repl.Promote()
+		return s.appendRole(out, info, err), true
+	case OpAck:
+		if s.opts.Repl != nil {
+			s.opts.Repl.Ack(req.Volume, req.Gen, req.Off)
+		}
+		return appendResponse(out, StatusOK, nil), true
+	}
+
+	mgr := s.mgr.Load()
+	if mgr == nil {
+		return appendResponse(out, StatusNotPrimary, []byte("node has no open volumes (unpromoted follower)")), true
+	}
+	if isDataOp(req.Op) && s.opts.Repl != nil && !s.opts.Repl.AcceptingData() {
+		return appendResponse(out, StatusNotPrimary, []byte("node is not the serving primary")), true
+	}
+	vol, ok := mgr.Get(req.Volume)
 	if !ok {
 		return appendResponse(out, StatusUnknownVolume, []byte("unknown volume "+req.Volume)), true
 	}
@@ -172,8 +253,17 @@ func (s *Server) handle(out, frame []byte, done chan volume.Result) ([]byte, boo
 		kind = volume.OpVerify
 	case OpProof:
 		kind = volume.OpProof
+	case OpShip:
+		kind = volume.OpShip
+	case OpTail:
+		// Long-poll: wait (bounded) for sealed bytes past the follower's
+		// position — force-sealing a lagging tail — then ship as usual.
+		if s.opts.Repl != nil {
+			s.opts.Repl.WaitTail(s.ctx, req.Volume, req.Gen, req.Off)
+		}
+		kind = volume.OpShip
 	}
-	if err := vol.TryDo(volume.Request{Kind: kind, Extent: req.Extent, Seq: req.Seq}, done); err != nil {
+	if err := vol.TryDo(volume.Request{Kind: kind, Extent: req.Extent, Seq: req.Seq, Gen: req.Gen, Off: req.Off}, done); err != nil {
 		return appendResponse(out, statusOf(err), []byte(err.Error())), true
 	}
 	var timeout <-chan time.Time
@@ -187,18 +277,85 @@ func (s *Server) handle(out, frame []byte, done chan volume.Result) ([]byte, boo
 		if res.Err != nil {
 			return appendResponse(out, statusOf(res.Err), []byte(res.Err.Error())), true
 		}
-		return appendOK(out, req.Op, res), true
+		if req.Op == OpWrite && res.Seq > 0 && s.opts.Repl != nil {
+			// Semi-synchronous replication: hold this write's OK until the
+			// follower ack watermark covers it (or the gate degrades).
+			s.opts.Repl.GateWrite(req.Volume, res.Seq)
+		}
+		return s.appendOK(out, req.Op, res), true
 	case <-timeout:
+		s.abandon(done)
 		msg := fmt.Sprintf("request exceeded %v", s.opts.RequestTimeout)
 		return appendResponse(out, StatusTimeout, []byte(msg)), false
 	case <-s.ctx.Done():
+		s.abandon(done)
 		return appendResponse(out, StatusInternal, []byte("server shutting down")), false
 	}
 }
 
-// appendOK encodes a successful result's op-specific body.
-func appendOK(out []byte, op uint8, res volume.Result) []byte {
+// abandon drains a still-pending request's result in the background: the
+// request stays queued and will execute, and without a reader its result
+// would sit in the channel buffer forever (pinning whatever the result
+// references). The connection is being dropped, so the channel is not
+// reused.
+func (s *Server) abandon(done chan volume.Result) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case <-done:
+			s.abandoned.Add(1)
+		case <-s.drained():
+		}
+	}()
+}
+
+// drained returns a channel closed once Close has finished waiting —
+// never, in practice, before abandoned results arrive, because Close
+// waits for this very WaitGroup. It exists to bound the drain goroutine
+// if a volume is closed without ever executing the request.
+func (s *Server) drained() <-chan struct{} { return s.ctx.Done() }
+
+// isDataOp reports whether op reads or mutates volume state (as opposed
+// to the replication/control ops followers must serve).
+func isDataOp(op uint8) bool {
 	switch op {
+	case OpWrite, OpRead, OpStat, OpSnapshot, OpVerify, OpProof:
+		return true
+	}
+	return false
+}
+
+// roleInfo builds the node's RoleInfo: from the hooks when present,
+// otherwise a standalone daemon reporting itself primary at epoch 0.
+func (s *Server) roleInfo() RoleInfo {
+	if s.opts.Repl != nil {
+		return s.opts.Repl.Role()
+	}
+	return RoleInfo{Role: "primary", Volumes: map[string]ReplPosition{}}
+}
+
+// appendRole encodes a RoleInfo response (or the promotion failure).
+func (s *Server) appendRole(out []byte, info RoleInfo, err error) []byte {
+	if err != nil {
+		return appendResponse(out, statusOf(err), []byte(err.Error()))
+	}
+	body, merr := json.Marshal(&info)
+	if merr != nil {
+		return appendResponse(out, StatusInternal, []byte(merr.Error()))
+	}
+	return appendResponse(out, StatusOK, body)
+}
+
+// appendOK encodes a successful result's op-specific body.
+func (s *Server) appendOK(out []byte, op uint8, res volume.Result) []byte {
+	switch op {
+	case OpShip, OpTail:
+		var epoch uint64
+		if s.opts.Repl != nil {
+			epoch = s.opts.Repl.Epoch()
+		}
+		return appendResponse(out, StatusOK, appendShipBody(nil, epoch, *res.Ship))
 	case OpRead:
 		var body [4]byte
 		binary.LittleEndian.PutUint32(body[:], uint32(res.Frags))
@@ -246,6 +403,8 @@ func statusOf(err error) uint8 {
 		return StatusCorrupt
 	case errors.Is(err, journal.ErrUnsealed):
 		return StatusBadRequest
+	case errors.Is(err, journal.ErrStaleSource):
+		return StatusNotPrimary
 	case fault.IsMedia(err):
 		return StatusMediaError
 	case fault.IsTransient(err):

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"io"
@@ -56,6 +57,11 @@ func TestWireRoundTrip(t *testing.T) {
 		{Op: OpSnapshot, Volume: "v"},
 		{Op: OpVerify, Volume: "v"},
 		{Op: OpProof, Volume: "v", Seq: 7},
+		{Op: OpShip, Volume: "v", Gen: 3, Off: 4096},
+		{Op: OpTail, Volume: "v", Gen: 1, Off: 0},
+		{Op: OpAck, Volume: "v", Gen: 9, Off: 1 << 30},
+		{Op: OpRole, Volume: "v"},
+		{Op: OpPromote, Volume: "v"},
 	}
 	for _, want := range cases {
 		frame, err := appendRequest(nil, want)
@@ -87,7 +93,12 @@ func TestWireRejectsMalformed(t *testing.T) {
 		{OpVerify, 1, 'a', 0},      // trailing bytes on verify
 		{OpProof, 1, 'a'},          // proof without seq
 		{OpProof, 1, 'a', 0, 0, 0, 0, 0, 0, 0, 0}, // proof seq 0
-		{99, 0}, // unknown op
+		{OpShip, 1, 'a', 1, 2, 3},                 // truncated repl body
+		{OpAck, 1, 'a', 0, 0, 0, 0, 0, 0, 0, 0,
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // negative ack offset
+		{OpRole, 1, 'a', 0},    // trailing bytes on role
+		{OpPromote, 1, 'a', 0}, // trailing bytes on promote
+		{99, 0},                // unknown op
 	}
 	for _, p := range bad {
 		if _, err := parseRequest(p); err == nil {
@@ -96,6 +107,29 @@ func TestWireRejectsMalformed(t *testing.T) {
 	}
 	if _, err := appendRequest(nil, request{Op: OpStat, Volume: strings.Repeat("x", 300)}); err == nil {
 		t.Error("appendRequest accepted an over-long volume name")
+	}
+}
+
+func TestShipBodyRoundTrip(t *testing.T) {
+	for _, want := range []journal.ShipChunk{
+		{Kind: journal.ShipSegments, Gen: 5, Off: 1234, Data: []byte("sealed segment bytes")},
+		{Kind: journal.ShipCheckpoint, Gen: 2, Data: []byte{0}},
+		{Kind: journal.ShipNone},
+	} {
+		body := appendShipBody(nil, 42, want)
+		epoch, got, err := parseShipBody(body)
+		if err != nil {
+			t.Fatalf("parseShipBody(%+v): %v", want, err)
+		}
+		if epoch != 42 {
+			t.Errorf("epoch %d, want 42", epoch)
+		}
+		if got.Kind != want.Kind || got.Gen != want.Gen || got.Off != want.Off || !bytes.Equal(got.Data, want.Data) {
+			t.Errorf("round trip: got %+v want %+v", got, want)
+		}
+	}
+	if _, _, err := parseShipBody([]byte{1, 2, 3}); err == nil {
+		t.Error("parseShipBody accepted a truncated header")
 	}
 }
 
@@ -297,6 +331,48 @@ func TestServerRequestTimeout(t *testing.T) {
 	release()
 	if err := c.Write("v0", geom.Ext(0, 8)); err == nil {
 		t.Error("connection survived a timeout, want closed")
+	}
+}
+
+// TestServerTimeoutDrainsAbandoned is the regression test for the
+// timed-out request leak: the request is still queued and will
+// execute, so its result must be drained in the background — otherwise
+// the volume actor blocks forever delivering into a channel nobody
+// reads, wedging the volume for every later client.
+func TestServerTimeoutDrainsAbandoned(t *testing.T) {
+	srv, mgr, addr := newTestServer(t, Options{RequestTimeout: 30 * time.Millisecond}, lsConfig("v0"))
+	v, _ := mgr.Get("v0")
+	release := stallVolume(t, v)
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Write("v0", geom.Ext(0, 8))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != StatusTimeout {
+		t.Fatalf("stalled write: err = %v, want StatusTimeout", err)
+	}
+	if n := srv.Abandoned(); n != 0 {
+		t.Fatalf("Abandoned = %d before the stalled request could execute", n)
+	}
+	release()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Abandoned() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Abandoned = %d after release, want 1 (result never drained)", srv.Abandoned())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The drained volume still serves: a fresh connection works.
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Write("v0", geom.Ext(0, 8)); err != nil {
+		t.Fatalf("write after abandoned drain: %v", err)
 	}
 }
 

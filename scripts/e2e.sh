@@ -13,7 +13,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 work=$(mktemp -d)
-trap 'kill "$pid" 2>/dev/null || true; rm -rf "$work"' EXIT
+trap 'kill "$pid" "${folpid:-}" 2>/dev/null || true; rm -rf "$work"' EXIT
 
 go build -o "$work/smrd" ./cmd/smrd
 go build -o "$work/smrload" ./cmd/smrload
@@ -97,6 +97,50 @@ if "$work/smrverify" "$work/journal" >"$work/audit3.log" 2>&1; then
 fi
 grep -q "CORRUPT" "$work/audit3.log" || {
 	echo "no CORRUPT verdict for seeded damage"; cat "$work/audit3.log"; exit 1
+}
+
+# Replication chaos leg: primary + follower over the wire, SIGKILL the
+# primary mid-load. The replica-set client must fail over — promoting
+# the follower with verified recovery — and finish the whole trace; the
+# promoted follower's journals must then audit clean.
+"$work/smrd" -listen 127.0.0.1:0 -volumes a -journal-dir "$work/prim" \
+	-role primary -seal-every 8 -sync-timeout 2s \
+	>"$work/prim.log" 2>&1 &
+pid=$!
+wait_addr "$work/prim.log"
+paddr=$addr
+ppid=$pid
+"$work/smrd" -listen 127.0.0.1:0 -volumes a -journal-dir "$work/fol" \
+	-role follower -replicate-from "$paddr" \
+	>"$work/fol.log" 2>&1 &
+pid=$!
+folpid=$pid
+wait_addr "$work/fol.log"
+faddr=$addr
+pid=$ppid
+
+"$work/smrload" -addrs "$paddr,$faddr" -volumes a -workload w91 -scale 0.5 \
+	-conns 2 >"$work/load3.log" 2>&1 &
+loadpid=$!
+sleep 0.5
+kill -KILL "$ppid"
+wait "$loadpid" || {
+	echo "load did not survive primary failover"
+	cat "$work/load3.log" "$work/fol.log"; exit 1
+}
+grep -q "failovers" "$work/load3.log" || {
+	echo "no failover accounting in load summary"; cat "$work/load3.log"; exit 1
+}
+grep -q "promoted to primary" "$work/fol.log" || {
+	echo "follower never promoted"; cat "$work/fol.log"; exit 1
+}
+
+# Graceful shutdown of the promoted follower: drain, checkpoint, audit.
+pid=$folpid
+kill -TERM "$folpid"
+wait "$folpid"
+"$work/smrverify" "$work/fol" >"$work/audit4.log" || {
+	echo "promoted-follower audit failed"; cat "$work/audit4.log"; exit 1
 }
 
 echo "e2e ok ($addr)"
