@@ -73,7 +73,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ckptEvery   = fs.Int64("checkpoint-every", 4096, "checkpoint a journaled volume after this many journal records (0 = only at shutdown)")
 		sealEvery   = fs.Int64("seal-every", journal.DefaultSegmentSize, "seal a Merkle segment after this many journal records")
 		noVerify    = fs.Bool("no-verify-recover", false, "skip the seal-chain audit before recovering a journaled volume (corrupt journals will then recover as if merely torn)")
-		reqTimeout  = fs.Duration("request-timeout", 0, "per-request execution timeout once queued (0 = none); expiry closes the connection")
+		reqTimeout  = fs.Duration("request-timeout", 0, "per-request execution timeout once queued (0 = none); expiry closes a v1 connection, a pipelined one gets a timeout status")
+		maxWindow   = fs.Int("max-window", 0, "cap on the per-connection in-flight window granted to SMRD2 pipelined clients (0 = built-in default)")
 		role        = fs.String("role", "standalone", `replication role: "standalone", "primary" or "follower" (primary/follower require -journal-dir)`)
 		replFrom    = fs.String("replicate-from", "", "follower only: the primary's address to pull sealed journal segments from")
 		peers       = fs.String("peers", "", "comma-separated peer addresses; a primary polls them and fences itself on seeing a higher epoch, a promoted follower does the same")
@@ -183,6 +184,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	srv := server.New(mgr, ln, server.Options{
 		RequestTimeout: *reqTimeout,
+		MaxWindow:      *maxWindow,
 		Repl:           repHooks,
 		Logf:           logf,
 	})

@@ -81,6 +81,8 @@ func run(args []string, out io.Writer) error {
 		conns        = fs.Int("conns", 4, "concurrent connections")
 		qps          = fs.Float64("qps", 0, "aggregate target ops/sec across all connections (0 = unthrottled)")
 		maxRetries   = fs.Int("max-retries", 1000, "per-record retry budget when the server sheds with overloaded")
+		pipeline     = fs.Bool("pipeline", false, "use the SMRD2 pipelined client: keep a full window of requests in flight per connection")
+		window       = fs.Int("window", 0, "pipelined in-flight window per connection (0 = server default; implies -pipeline)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +90,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *conns < 1 {
 		return fmt.Errorf("-conns must be >= 1")
+	}
+	if *window < 0 {
+		return fmt.Errorf("-window must be >= 0")
+	}
+	if *window > 0 {
+		*pipeline = true
 	}
 	vols := strings.Split(*volumes, ",")
 	for i := range vols {
@@ -116,6 +124,13 @@ func run(args []string, out io.Writer) error {
 	if *qps > 0 {
 		fmt.Fprintf(out, " at %.0f qps", *qps)
 	}
+	if *pipeline {
+		if *window > 0 {
+			fmt.Fprintf(out, " pipelined (window %d)", *window)
+		} else {
+			fmt.Fprint(out, " pipelined")
+		}
+	}
 	fmt.Fprintln(out)
 
 	// Pace each connection so the aggregate hits -qps.
@@ -132,7 +147,11 @@ func run(args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(vol string) {
 			defer wg.Done()
-			errs <- drive(*addr, replicaSet, vol, pre, agg, interval, *maxRetries)
+			if *pipeline {
+				errs <- drivePipelined(*addr, replicaSet, vol, pre, agg, interval, *maxRetries, *window)
+			} else {
+				errs <- drive(*addr, replicaSet, vol, pre, agg, interval, *maxRetries)
+			}
 		}(vols[i%len(vols)])
 	}
 	wg.Wait()

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"smrseek/internal/core"
+	"smrseek/internal/metrics"
 	"smrseek/internal/server"
 	"smrseek/internal/volume"
 )
@@ -83,5 +84,51 @@ func TestLoadGeneratorFlagValidation(t *testing.T) {
 	}
 	if _, _, err := loadTrace("", 1, "/no/such/file", "weird", -1); err == nil {
 		t.Error("accepted missing trace file")
+	}
+}
+
+func TestLoadGeneratorPipelined(t *testing.T) {
+	addr := startServer(t, lsConfig("a"), lsConfig("b"))
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", addr, "-volumes", "a,b",
+		"-workload", "w91", "-scale", "0.01", "-conns", "2", "-window", "16",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"pipelined (window 16)", "load summary", "ops/s"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestPipelinedShedAccounting pins the retry-dedupe contract: a record
+// that bounces off a full queue is resubmitted under a fresh request ID
+// but must count exactly one op. A QueueDepth-1 volume under a window
+// of 32 sheds constantly, so any double-count shows up as ops > trace
+// length.
+func TestPipelinedShedAccounting(t *testing.T) {
+	cfg := lsConfig("a")
+	cfg.QueueDepth = 1
+	addr := startServer(t, cfg)
+	pre, _, err := loadTrace("w91", 0.01, "", "cp", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := &tally{lat: metrics.NewHistogram()}
+	if err := drivePipelined(addr, nil, "a", pre, agg, 0, 100000, 32); err != nil {
+		t.Fatalf("drivePipelined: %v", err)
+	}
+	if want := int64(pre.Len()); agg.ops != want {
+		t.Fatalf("ops = %d, want exactly %d (shed retries must not double-count)", agg.ops, want)
+	}
+	if agg.sheds == 0 {
+		t.Error("QueueDepth-1 volume under window 32 shed nothing; shed path untested")
+	}
+	if agg.failovers != 0 {
+		t.Errorf("failovers = %d on a healthy single server", agg.failovers)
 	}
 }

@@ -1,0 +1,209 @@
+package main
+
+// The pipelined driver: one SMRD2 connection per goroutine with a full
+// window of requests in flight. Accounting is keyed by trace record,
+// not by wire request — a shed record resubmits under a fresh request
+// ID but keeps its original accounting slot, so it counts exactly one
+// op (plus its shed count) no matter how many times it bounced. The
+// synchronous driver gets this for free by blocking per record; here
+// the dedupe is explicit (see TestPipelinedShedAccounting).
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"smrseek/internal/server"
+	"smrseek/internal/trace"
+)
+
+// recSlot is one trace record's accounting identity across however many
+// submissions it takes to land.
+type recSlot struct {
+	rec   trace.Record
+	start time.Time // first submission; latency covers retries
+	sheds int64
+}
+
+// drivePipelined replays the whole trace on one pipelined connection.
+// Shed records are resubmitted (maxRetries per record); a dead or
+// demoted primary triggers failover — drain the broken window, re-probe
+// the replica set, redial, resubmit what never landed.
+func drivePipelined(addr string, replicaSet []string, vol string, pre *trace.Preloaded, agg *tally, interval time.Duration, maxRetries, window int) error {
+	var set *server.Set
+	target := addr
+	if len(replicaSet) > 0 {
+		s, err := server.DialSet(context.Background(), replicaSet)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		set = s
+		target = set.Primary()
+	}
+	ac, err := server.DialAsync(target, window)
+	if err != nil {
+		return err
+	}
+	defer func() { ac.Close() }()
+
+	var (
+		pending   = make(map[uint64]*recSlot) // request ID -> accounting slot
+		done      = make(chan *server.Call, ac.Window())
+		retryQ    []*recSlot
+		inflight  int
+		needFO    bool
+		failovers int64
+		recov     []time.Duration
+		lastOK    time.Time
+	)
+	defer func() { agg.observeFailovers(failovers, recov) }()
+
+	submit := func(sl *recSlot) bool {
+		call, err := ac.SubmitStep(vol, sl.rec, done)
+		if err != nil {
+			// Sticky transport failure: nothing was sent; the slot waits
+			// out the failover in the retry queue.
+			retryQ = append(retryQ, sl)
+			needFO = true
+			return false
+		}
+		pending[call.ID] = sl
+		inflight++
+		return true
+	}
+
+	// reap classifies one completion: success is observed (exactly once
+	// per record), sheds and failover-class errors re-queue the same
+	// slot, anything else is fatal.
+	reap := func(call *server.Call) error {
+		sl := pending[call.ID]
+		delete(pending, call.ID)
+		inflight--
+		if sl == nil {
+			return fmt.Errorf("volume %s: completion for unknown request %d", vol, call.ID)
+		}
+		_, err := call.Result()
+		switch {
+		case err == nil:
+			lastOK = time.Now()
+			agg.observe(time.Since(sl.start), sl.sheds)
+		case server.IsOverloaded(err):
+			if sl.sheds++; sl.sheds > int64(maxRetries) {
+				return fmt.Errorf("volume %s: record shed %d times, giving up", vol, maxRetries)
+			}
+			retryQ = append(retryQ, sl)
+		case needsReroute(err):
+			retryQ = append(retryQ, sl)
+			needFO = true
+		default:
+			return fmt.Errorf("volume %s: %w", vol, err)
+		}
+		return nil
+	}
+
+	failover := func() error {
+		ac.Close()
+		var lastErr error
+		for attempt := 0; attempt < 8; attempt++ {
+			if attempt > 0 {
+				time.Sleep(time.Duration(attempt) * 50 * time.Millisecond)
+			}
+			target := addr
+			if set != nil {
+				if err := set.Reroute(); err != nil {
+					lastErr = err
+					continue
+				}
+				target = set.Primary()
+			}
+			nac, err := server.DialAsync(target, window)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			ac = nac
+			done = make(chan *server.Call, ac.Window())
+			if set != nil {
+				failovers++
+				if !lastOK.IsZero() {
+					recov = append(recov, time.Since(lastOK))
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("volume %s: failover exhausted: %w", vol, lastErr)
+	}
+
+	r := pre.NewReader()
+	var next time.Time
+	if interval > 0 {
+		next = time.Now()
+	}
+	rec, more := r.Next()
+	for more || inflight > 0 || len(retryQ) > 0 {
+		if needFO && inflight == 0 {
+			if err := failover(); err != nil {
+				return err
+			}
+			needFO = false
+		}
+		// Fill the window: retries first (they are oldest), then fresh
+		// records, paced to the target rate.
+		for !needFO && inflight < ac.Window() {
+			if len(retryQ) > 0 {
+				sl := retryQ[0]
+				retryQ = retryQ[1:]
+				submit(sl)
+				continue
+			}
+			if !more {
+				break
+			}
+			if interval > 0 {
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				next = next.Add(interval)
+			}
+			sl := &recSlot{rec: rec, start: time.Now()}
+			rec, more = r.Next()
+			// On a sticky submit failure the slot is already queued for
+			// retry; the fill loop exits via !needFO.
+			submit(sl)
+		}
+		if inflight == 0 {
+			continue
+		}
+		// Wait for one completion, then take whatever else is ready.
+		if err := reap(<-done); err != nil {
+			return err
+		}
+	drain:
+		for inflight > 0 {
+			select {
+			case call := <-done:
+				if err := reap(call); err != nil {
+					return err
+				}
+			default:
+				break drain
+			}
+		}
+	}
+	return r.Err()
+}
+
+// needsReroute mirrors the replica set's failover predicate: a broken
+// connection or a not-primary rejection means this node cannot serve.
+func needsReroute(err error) bool {
+	if err == nil {
+		return false
+	}
+	se, ok := err.(*server.StatusError)
+	if ok {
+		return se.Status == server.StatusNotPrimary
+	}
+	// Submit/Result surface transport failures as non-status errors.
+	return !server.IsOverloaded(err)
+}

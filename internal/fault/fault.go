@@ -63,14 +63,22 @@ func (e *Error) Error() string {
 }
 
 // IsTransient reports whether err is an injected fault a retry may
-// clear.
+// clear. The nil check is not redundant: errors.As heap-allocates its
+// target, and hot paths call this once per op with err almost always
+// nil.
 func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
 	var fe *Error
 	return errors.As(err, &fe) && fe.Kind == Transient
 }
 
 // IsMedia reports whether err is a persistent media error.
 func IsMedia(err error) bool {
+	if err == nil {
+		return false
+	}
 	var fe *Error
 	return errors.As(err, &fe) && fe.Kind == Media
 }

@@ -127,13 +127,23 @@ func (p *Proxy) serve() {
 // pumpResponses forwards the server→client direction frame by frame,
 // applying the configured delay and corruption.
 func (p *Proxy) pumpResponses(dst io.Writer, src io.Reader) {
-	// The server's 5-byte hello precedes the framed stream.
+	// The server's hello precedes the framed stream: 5 bytes, plus a
+	// 2-byte granted window when SMRD2 was negotiated.
 	var hello [5]byte
 	if _, err := io.ReadFull(src, hello[:]); err != nil {
 		return
 	}
 	if _, err := dst.Write(hello[:]); err != nil {
 		return
+	}
+	if hello[4] >= 2 {
+		var window [2]byte
+		if _, err := io.ReadFull(src, window[:]); err != nil {
+			return
+		}
+		if _, err := dst.Write(window[:]); err != nil {
+			return
+		}
 	}
 	var hdr [4]byte
 	for {

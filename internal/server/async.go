@@ -1,0 +1,409 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+	"smrseek/internal/trace"
+)
+
+// Request describes one operation for AsyncClient.Submit. Extent is
+// used by write/read, Seq by proof, Gen/Off by ship/tail/ack; the rest
+// ignore them — the same shape the wire request carries.
+type Request struct {
+	Op     uint8
+	Volume string
+	Extent geom.Extent
+	Seq    int64
+	Gen    uint64
+	Off    int64
+}
+
+func (r Request) wire() request {
+	return request{Op: r.Op, Volume: r.Volume, Extent: r.Extent, Seq: r.Seq, Gen: r.Gen, Off: r.Off}
+}
+
+// ErrClientClosed is returned by Submit on a closed AsyncClient.
+var ErrClientClosed = errors.New("smrd: client closed")
+
+// Call is one in-flight pipelined request. The AsyncClient delivers the
+// completed Call on the done channel passed to Submit; read the outcome
+// with Result (or the typed helpers on AsyncClient).
+type Call struct {
+	// ID is the request's wire ID, unique per connection.
+	ID uint64
+	// Op is the request opcode, echoed for the caller's dispatch.
+	Op uint8
+
+	status uint8
+	body   []byte
+	err    error
+	done   chan *Call
+}
+
+// Result returns the call's response body, mapping transport failures
+// and non-OK statuses to errors exactly like the synchronous client:
+// *StatusError for server rejections, a connection error otherwise.
+// Valid only after the Call was delivered on its done channel.
+func (c *Call) Result() ([]byte, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.status != StatusOK {
+		return nil, &StatusError{Status: c.status, Msg: string(c.body)}
+	}
+	return c.body, nil
+}
+
+// AsyncClient is one pipelined smrd connection: up to the negotiated
+// window of requests in flight, responses matched by ID and completed
+// out of order. Safe for concurrent use — any number of goroutines may
+// Submit; each Call comes back on the done channel its submitter chose
+// (the volume.TryDo idiom: the channel must be buffered with room for
+// every call outstanding on it).
+//
+// Negotiated against a v1 server the client degrades transparently:
+// no IDs on the wire, window forced to 1, strict request/response order.
+type AsyncClient struct {
+	addr    string
+	conn    net.Conn
+	version uint8
+	window  int
+
+	// slots holds one token per window seat; Submit acquires before
+	// registering, completion releases. Capacity bounds the pipeline.
+	slots  chan struct{}
+	broken chan struct{} // closed on the first transport failure
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*Call
+	err     error // sticky transport failure
+	closed  bool
+
+	wmu sync.Mutex // serializes concurrent senders
+	out []byte     // request encode scratch, guarded by wmu
+
+	readerDone chan struct{}
+}
+
+// DialAsync connects with the SMRD2 protocol, requesting the given
+// window (0 = server default). The granted window — possibly clamped by
+// the server — is available via Window.
+func DialAsync(addr string, window int) (*AsyncClient, error) {
+	return DialAsyncContext(context.Background(), addr, Version2, window)
+}
+
+// DialAsyncContext is DialAsync with caller-controlled cancellation and
+// an explicit protocol version ceiling (Version forces the legacy
+// synchronous wire format; the window is then 1 regardless of the
+// request).
+func DialAsyncContext(ctx context.Context, addr string, version uint8, window int) (*AsyncClient, error) {
+	conn, err := dialRetry(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	ac, err := newAsyncClient(conn, addr, version, window)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return ac, nil
+}
+
+// dialRetry dials addr, retrying refused connections briefly (the daemon
+// may still be binding its listener).
+func dialRetry(ctx context.Context, addr string) (net.Conn, error) {
+	var (
+		d    net.Dialer
+		conn net.Conn
+		err  error
+	)
+	for attempt := 0; attempt < 20; attempt++ {
+		conn, err = d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("smrd: dial %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// newAsyncClient performs the hello on an established connection and
+// starts the response reader.
+func newAsyncClient(conn net.Conn, addr string, version uint8, window int) (*AsyncClient, error) {
+	negVersion, negWindow, err := clientHello(conn, version, window)
+	if err != nil {
+		return nil, err
+	}
+	ac := &AsyncClient{
+		addr:       addr,
+		conn:       conn,
+		version:    negVersion,
+		window:     negWindow,
+		slots:      make(chan struct{}, negWindow),
+		broken:     make(chan struct{}),
+		pending:    make(map[uint64]*Call, negWindow),
+		readerDone: make(chan struct{}),
+	}
+	go ac.reader()
+	return ac, nil
+}
+
+// Version returns the negotiated protocol version.
+func (ac *AsyncClient) Version() uint8 { return ac.version }
+
+// Window returns the granted in-flight window.
+func (ac *AsyncClient) Window() int { return ac.window }
+
+// Close closes the connection; every in-flight call completes with a
+// connection error.
+func (ac *AsyncClient) Close() error {
+	ac.mu.Lock()
+	ac.closed = true
+	ac.mu.Unlock()
+	err := ac.conn.Close()
+	<-ac.readerDone
+	return err
+}
+
+// Submit sends one request into the pipeline, blocking only while the
+// window is full. The Call is delivered on done when its response
+// arrives (or the connection fails). done must be buffered with
+// capacity for every call outstanding on it — the delivery never
+// blocks, matching the volume.TryDo contract.
+func (ac *AsyncClient) Submit(req Request, done chan *Call) (*Call, error) {
+	return ac.submit(req.wire(), done)
+}
+
+// Await blocks for the next completed Call on done — sugar for the
+// channel receive, so Submit/Await pairs read naturally.
+func (ac *AsyncClient) Await(done chan *Call) *Call { return <-done }
+
+// SubmitStep submits one trace record as the matching read/write.
+func (ac *AsyncClient) SubmitStep(vol string, rec trace.Record, done chan *Call) (*Call, error) {
+	switch rec.Kind {
+	case disk.Write:
+		return ac.submit(request{Op: OpWrite, Volume: vol, Extent: rec.Extent}, done)
+	case disk.Read:
+		return ac.submit(request{Op: OpRead, Volume: vol, Extent: rec.Extent}, done)
+	default:
+		return nil, fmt.Errorf("smrd: unsupported record kind %v", rec.Kind)
+	}
+}
+
+func (ac *AsyncClient) submit(req request, done chan *Call) (*Call, error) {
+	if done == nil || cap(done) == 0 {
+		return nil, errors.New("smrd: Submit requires a buffered done channel")
+	}
+	select {
+	case ac.slots <- struct{}{}:
+	case <-ac.broken:
+		return nil, ac.stickyErr()
+	}
+	ac.mu.Lock()
+	if ac.err != nil || ac.closed {
+		err := ac.err
+		ac.mu.Unlock()
+		<-ac.slots
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return nil, err
+	}
+	ac.nextID++
+	call := &Call{ID: ac.nextID, Op: req.Op, done: done}
+	ac.pending[call.ID] = call
+	ac.mu.Unlock()
+
+	ac.wmu.Lock()
+	var err error
+	if ac.version >= Version2 {
+		ac.out, err = appendRequestV2(ac.out[:0], call.ID, req)
+	} else {
+		ac.out, err = appendRequest(ac.out[:0], req)
+	}
+	if err != nil {
+		// Encode failure (caller error, nothing hit the wire): unwind.
+		ac.wmu.Unlock()
+		ac.mu.Lock()
+		delete(ac.pending, call.ID)
+		ac.mu.Unlock()
+		<-ac.slots
+		return nil, err
+	}
+	_, werr := ac.conn.Write(ac.out)
+	ac.wmu.Unlock()
+	if werr != nil {
+		// The connection is gone: fail every pending call (including this
+		// one) — each is delivered on its done channel with the error.
+		ac.fail(&connError{fmt.Errorf("smrd: send: %w", werr)})
+	}
+	return call, nil
+}
+
+// reader is the connection's single response-reading goroutine.
+func (ac *AsyncClient) reader() {
+	defer close(ac.readerDone)
+	var buf []byte
+	for {
+		frame, err := readFrame(ac.conn, buf)
+		if err != nil {
+			ac.fail(&connError{fmt.Errorf("smrd: recv: %w", err)})
+			return
+		}
+		buf = frame
+		var (
+			id     uint64
+			status uint8
+			body   []byte
+		)
+		if ac.version >= Version2 {
+			id, status, body, err = parseResponseV2(frame)
+			if err != nil {
+				ac.fail(&connError{err})
+				return
+			}
+		} else {
+			status, body = frame[0], frame[1:]
+		}
+		ac.mu.Lock()
+		var call *Call
+		if ac.version >= Version2 {
+			call = ac.pending[id]
+			delete(ac.pending, id)
+		} else {
+			// v1 responses arrive strictly in request order and the window
+			// is 1: the sole pending call is the match.
+			for k, v := range ac.pending {
+				call = v
+				delete(ac.pending, k)
+				break
+			}
+		}
+		ac.mu.Unlock()
+		if call == nil {
+			ac.fail(&connError{fmt.Errorf("smrd: response for unknown request id %d", id)})
+			return
+		}
+		call.status = status
+		if len(body) > 0 {
+			// Copy out of the read scratch: the next frame reuses it.
+			call.body = append([]byte(nil), body...)
+		}
+		<-ac.slots
+		call.done <- call
+	}
+}
+
+// fail marks the client broken and completes every pending call with
+// err. Idempotent; safe from the reader and from a failed sender.
+func (ac *AsyncClient) fail(err error) {
+	ac.mu.Lock()
+	if ac.err == nil {
+		ac.err = err
+		close(ac.broken)
+	}
+	calls := make([]*Call, 0, len(ac.pending))
+	for id, call := range ac.pending {
+		calls = append(calls, call)
+		delete(ac.pending, id)
+	}
+	ac.mu.Unlock()
+	for _, call := range calls {
+		call.err = err
+		<-ac.slots
+		call.done <- call
+	}
+}
+
+// stickyErr returns the recorded transport failure (or ErrClientClosed).
+func (ac *AsyncClient) stickyErr() error {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if ac.err != nil {
+		return ac.err
+	}
+	return ErrClientClosed
+}
+
+// roundTrip submits one request and blocks for its response — the
+// synchronous convenience path over the pipeline.
+func (ac *AsyncClient) roundTrip(req request) ([]byte, error) {
+	done := make(chan *Call, 1)
+	call, err := ac.submit(req, done)
+	if err != nil {
+		return nil, err
+	}
+	_ = call
+	return (<-done).Result()
+}
+
+// Replay streams every record of r to the named volume, keeping the
+// negotiated window full, and returns how many completed successfully.
+// Requests are sent — and therefore dispatched to the volume — in trace
+// order; only the responses interleave. With a window no larger than
+// the volume's queue depth and no competing writers, a pipelined replay
+// is exactly as deterministic as a synchronous one. The first error
+// (including ErrOverloaded shedding — the caller owns retries) stops
+// the stream after draining what is in flight.
+func (ac *AsyncClient) Replay(vol string, r trace.Reader) (int64, error) {
+	done := make(chan *Call, ac.window)
+	var (
+		n, inflight int64
+		firstErr    error
+	)
+	reap := func(call *Call) {
+		inflight--
+		if _, err := call.Result(); err != nil && firstErr == nil {
+			firstErr = err
+		} else if err == nil {
+			n++
+		}
+	}
+	for firstErr == nil {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+	drain:
+		for {
+			select {
+			case call := <-done:
+				reap(call)
+			default:
+				break drain
+			}
+		}
+		if firstErr != nil {
+			break
+		}
+		if _, err := ac.SubmitStep(vol, rec, done); err != nil {
+			firstErr = err
+			break
+		}
+		inflight++
+	}
+	for inflight > 0 {
+		reap(<-done)
+	}
+	if firstErr != nil {
+		return n, firstErr
+	}
+	return n, r.Err()
+}

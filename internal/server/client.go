@@ -83,19 +83,22 @@ func (p ReconnectPolicy) backoff(attempt int) time.Duration {
 	return half + time.Duration(rand.Int63n(int64(half)))
 }
 
-// Client is one synchronous smrd protocol connection. Not safe for
-// concurrent use; open one client per goroutine.
+// Client is one synchronous smrd protocol connection: a window=1 view
+// over the pipelined AsyncClient, preserving the strict
+// request/response alternation the v1 protocol had. Not safe for
+// concurrent use; open one client per goroutine (or use AsyncClient).
 type Client struct {
+	ac         *AsyncClient
 	addr       string
-	conn       net.Conn
-	buf        []byte // frame read scratch
-	out        []byte // request encode scratch
+	version    uint8 // protocol ceiling to negotiate (Version or Version2)
+	done       chan *Call
 	policy     ReconnectPolicy
 	reconnects int64
 }
 
-// Dial connects and performs the protocol handshake, retrying refused
-// connections briefly (the daemon may still be binding its listener).
+// Dial connects and negotiates the protocol (SMRD2 where the server
+// supports it, at window 1), retrying refused connections briefly (the
+// daemon may still be binding its listener).
 func Dial(addr string) (*Client, error) {
 	return DialContext(context.Background(), addr)
 }
@@ -105,32 +108,24 @@ func Dial(addr string) (*Client, error) {
 // does. Replica sets use it to bound how long probing a dead node may
 // take.
 func DialContext(ctx context.Context, addr string) (*Client, error) {
-	var (
-		d    net.Dialer
-		conn net.Conn
-		err  error
-	)
-	for attempt := 0; attempt < 20; attempt++ {
-		conn, err = d.DialContext(ctx, "tcp", addr)
-		if err == nil {
-			break
-		}
-		if ctx.Err() != nil {
-			break
-		}
-		select {
-		case <-ctx.Done():
-		case <-time.After(25 * time.Millisecond):
-		}
-	}
+	return DialVersion(ctx, addr, Version2)
+}
+
+// DialVersion is DialContext with an explicit protocol ceiling:
+// version Version forces the legacy v1 wire format even against an
+// SMRD2 server (the conformance tests pin v1 interop this way).
+func DialVersion(ctx context.Context, addr string, version uint8) (*Client, error) {
+	ac, err := DialAsyncContext(ctx, addr, version, 1)
 	if err != nil {
-		return nil, fmt.Errorf("smrd: dial %s: %w", addr, err)
-	}
-	if err := handshake(conn); err != nil {
-		conn.Close()
 		return nil, err
 	}
-	return &Client{addr: addr, conn: conn, policy: DefaultReconnect}, nil
+	return &Client{
+		ac:      ac,
+		addr:    addr,
+		version: version,
+		done:    make(chan *Call, 1),
+		policy:  DefaultReconnect,
+	}, nil
 }
 
 // SetReconnect replaces the Step/Replay reconnection policy. A zero
@@ -141,47 +136,40 @@ func (c *Client) SetReconnect(p ReconnectPolicy) { c.policy = p }
 // connection inside Step/Replay.
 func (c *Client) Reconnects() int64 { return c.reconnects }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Version returns the negotiated protocol version.
+func (c *Client) Version() uint8 { return c.ac.Version() }
 
-// reconnect replaces a broken connection with a fresh handshaken one.
+// Close closes the connection.
+func (c *Client) Close() error { return c.ac.Close() }
+
+// reconnect replaces a broken connection with a fresh negotiated one.
 func (c *Client) reconnect() error {
-	c.conn.Close()
+	c.ac.Close()
 	conn, err := net.Dial("tcp", c.addr)
 	if err != nil {
 		return &connError{fmt.Errorf("smrd: redial %s: %w", c.addr, err)}
 	}
-	if err := handshake(conn); err != nil {
+	ac, err := newAsyncClient(conn, c.addr, c.version, 1)
+	if err != nil {
 		conn.Close()
 		return &connError{err}
 	}
-	c.conn = conn
+	c.ac = ac
+	// The old connection's failure may have left its Call in c.done;
+	// a fresh channel keeps old deliveries from matching new requests.
+	c.done = make(chan *Call, 1)
 	c.reconnects++
 	return nil
 }
 
-// roundTrip sends one request and decodes the response status + body.
+// roundTrip sends one request and blocks for its response status + body.
 // Transport failures come back as *connError; server rejections as
 // *StatusError.
 func (c *Client) roundTrip(req request) ([]byte, error) {
-	out, err := appendRequest(c.out[:0], req)
-	if err != nil {
+	if _, err := c.ac.submit(req, c.done); err != nil {
 		return nil, err
 	}
-	c.out = out
-	if _, err := c.conn.Write(out); err != nil {
-		return nil, &connError{fmt.Errorf("smrd: send: %w", err)}
-	}
-	frame, err := readFrame(c.conn, c.buf)
-	if err != nil {
-		return nil, &connError{fmt.Errorf("smrd: recv: %w", err)}
-	}
-	c.buf = frame
-	status, body := frame[0], frame[1:]
-	if status != StatusOK {
-		return nil, &StatusError{Status: status, Msg: string(body)}
-	}
-	return body, nil
+	return (<-c.done).Result()
 }
 
 // Write issues a logical write of ext on the named volume.
@@ -350,7 +338,8 @@ func (c *Client) Promote() (RoleInfo, error) {
 // Replay streams every record of r to the named volume in order and
 // returns the op count. Each record blocks on its response, so the
 // volume executes the trace in exactly this order. Broken connections
-// are retried per Step's reconnect policy.
+// are retried per Step's reconnect policy. For a pipelined replay that
+// keeps a whole window in flight, see AsyncClient.Replay.
 func (c *Client) Replay(vol string, r trace.Reader) (int64, error) {
 	var n int64
 	for {

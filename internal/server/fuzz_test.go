@@ -1,0 +1,106 @@
+package server
+
+// Fuzzers over the SMRD2 wire layer: frame codecs (request-ID header,
+// op payloads) and the version/window hello. Malformed input must error
+// cleanly — never panic, never mis-round-trip. The CI fuzz smoke leg
+// runs both briefly on every push.
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"smrseek/internal/geom"
+)
+
+// FuzzWireFrame throws arbitrary bytes at both v2 frame parsers and
+// pins the canonical-encoding property: whatever parses must re-encode
+// to exactly the bytes that parsed.
+func FuzzWireFrame(f *testing.F) {
+	// Valid request frames of every op as seeds (payload only, the way
+	// the read loop hands them to the parser).
+	seed := func(req request) {
+		frame, err := appendRequestV2(nil, 12345, req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	seed(request{Op: OpWrite, Volume: "v", Extent: geom.Ext(8, 16)})
+	seed(request{Op: OpRead, Volume: "vol-name", Extent: geom.Ext(0, 1)})
+	seed(request{Op: OpStat, Volume: "v"})
+	seed(request{Op: OpSnapshot, Volume: "v"})
+	seed(request{Op: OpVerify, Volume: "v"})
+	seed(request{Op: OpProof, Volume: "v", Seq: 7})
+	seed(request{Op: OpShip, Volume: "v", Gen: 3, Off: 4096})
+	seed(request{Op: OpTail, Volume: "v", Gen: 1, Off: 0})
+	seed(request{Op: OpAck, Volume: "v", Gen: 9, Off: 1 << 30})
+	seed(request{Op: OpRole})
+	seed(request{Op: OpPromote})
+	// Response-shaped seeds and degenerate frames.
+	f.Add(appendResponseV2(nil, 1, StatusOK, []byte{1, 2, 3, 4})[4:])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, idSize+1))
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		names := make(nameCache)
+		if id, req, err := parseRequestV2(p, names); err == nil {
+			enc, err := appendRequestV2(nil, id, req)
+			if err != nil {
+				t.Fatalf("re-encode of parsed request %+v: %v", req, err)
+			}
+			if !bytes.Equal(enc[4:], p) {
+				t.Fatalf("request round trip diverged:\n in  %x\n out %x", p, enc[4:])
+			}
+		}
+		if id, status, body, err := parseResponseV2(p); err == nil {
+			enc := appendResponseV2(nil, id, status, body)
+			if !bytes.Equal(enc[4:], p) {
+				t.Fatalf("response round trip diverged:\n in  %x\n out %x", p, enc[4:])
+			}
+		}
+	})
+}
+
+// FuzzHello drives both hello directions with arbitrary peer bytes:
+// the server reading a fuzzed client hello, and the client reading a
+// fuzzed server reply. Whatever survives must be a sane negotiation.
+func FuzzHello(f *testing.F) {
+	f.Add([]byte("SMRD\x01"))
+	f.Add([]byte("SMRD\x02\x00\x00"))
+	f.Add([]byte("SMRD\x02\x40\x00"))
+	f.Add([]byte("SMRD\x02\xff\xff"))
+	f.Add([]byte("SMRX\x01"))
+	f.Add([]byte("SM"))
+	f.Add([]byte("SMRD\x07\x01\x00extra trailing bytes"))
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		srv := struct {
+			io.Reader
+			io.Writer
+		}{bytes.NewReader(p), io.Discard}
+		if version, window, err := serverHello(srv, 0); err == nil {
+			if version != Version && version != Version2 {
+				t.Fatalf("serverHello accepted version %d", version)
+			}
+			if window < 1 || window > HardMaxWindow {
+				t.Fatalf("serverHello granted window %d", window)
+			}
+			if version == Version && window != 1 {
+				t.Fatalf("v1 negotiation granted window %d, want 1", window)
+			}
+		}
+		cli := struct {
+			io.Reader
+			io.Writer
+		}{bytes.NewReader(p), io.Discard}
+		if version, window, err := clientHello(cli, Version2, 8); err == nil {
+			if version != Version && version != Version2 {
+				t.Fatalf("clientHello accepted version %d", version)
+			}
+			if window < 1 || (version == Version2 && window > 8) {
+				t.Fatalf("clientHello accepted window %d beyond its request", window)
+			}
+		}
+	})
+}

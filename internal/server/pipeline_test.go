@@ -1,0 +1,367 @@
+package server
+
+// Concurrency, leak and allocation coverage for the SMRD2 pipeline:
+// out-of-order completion under load (run with -race), shutdown with
+// requests in flight (exactly one outcome per Submit), the
+// Abandoned-drain regression for timed-out pipelined requests, frame
+// pool get/put balance, and the zero-alloc codec hot path.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+	"smrseek/internal/trace"
+	"smrseek/internal/volume"
+)
+
+// TestPipelineOutOfOrder hammers one server with 8 clients × window 32,
+// each interleaving two volumes on one connection so responses genuinely
+// complete out of order, and requires every call back exactly once with
+// a sane body.
+func TestPipelineOutOfOrder(t *testing.T) {
+	_, _, addr := newTestServer(t, Options{}, lsConfig("a"), lsConfig("b"))
+	const (
+		clients = 8
+		window  = 32
+		ops     = 400
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			ac, err := DialAsync(addr, window)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer ac.Close()
+			if ac.Window() != window {
+				t.Errorf("granted window %d, want %d", ac.Window(), window)
+				return
+			}
+			done := make(chan *Call, window)
+			inflight := 0
+			reap := func(call *Call) {
+				inflight--
+				body, err := call.Result()
+				if err != nil {
+					t.Errorf("call %d op %d: %v", call.ID, call.Op, err)
+					return
+				}
+				if call.Op == OpRead && len(body) != 4 {
+					t.Errorf("read body %d bytes, want 4", len(body))
+				}
+			}
+			for op := int64(0); op < ops; op++ {
+				vol := "a"
+				if (seed+op)%2 == 1 {
+					vol = "b"
+				}
+				rec := trace.Record{Kind: disk.Write, Extent: geom.Ext(geom.Sector((seed*1000+op*8)%100000), 8)}
+				if op%4 == 3 {
+					rec.Kind = disk.Read
+				}
+				if _, err := ac.SubmitStep(vol, rec, done); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				inflight++
+				for inflight == window {
+					reap(<-done)
+				}
+			}
+			for inflight > 0 {
+				reap(<-done)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+}
+
+// TestPipelineShutdownInFlight closes the server while a stalled volume
+// holds a full pipeline in flight: every submitted call must complete
+// exactly once — a result, a shed, or a connection error — and nothing
+// may hang.
+func TestPipelineShutdownInFlight(t *testing.T) {
+	srv, mgr, addr := newTestServer(t, Options{}, lsConfig("v0"))
+	v, _ := mgr.Get("v0")
+	release := stallVolume(t, v)
+	defer release()
+
+	const window = 16
+	ac, err := DialAsync(addr, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+
+	done := make(chan *Call, window)
+	var submitted int
+	for i := 0; i < window; i++ {
+		if _, err := ac.Submit(Request{Op: OpWrite, Volume: "v0", Extent: geom.Ext(geom.Sector(i*8), 8)}, done); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		submitted++
+	}
+	go srv.Close()
+
+	var completions int32
+	timeout := time.After(10 * time.Second)
+	for completions < int32(submitted) {
+		select {
+		case call := <-done:
+			atomic.AddInt32(&completions, 1)
+			if _, err := call.Result(); err != nil {
+				var se *StatusError
+				if !isConnError(err) && !errors.As(err, &se) {
+					t.Errorf("call %d: unexpected outcome %v", call.ID, err)
+				}
+			}
+		case <-timeout:
+			t.Fatalf("only %d of %d calls completed after shutdown", completions, submitted)
+		}
+	}
+	// Exactly once: no second delivery may be buffered.
+	select {
+	case call := <-done:
+		t.Fatalf("call %d delivered twice", call.ID)
+	default:
+	}
+}
+
+// TestPipelinedTimeoutAbandonedDrain is the Abandoned-drain regression
+// for pipelined requests: a window full of timed-out writes must each
+// get StatusTimeout, the connection must survive, and once the volume
+// unsticks every late result must be drained and counted — not wedged
+// in the completion channel.
+func TestPipelinedTimeoutAbandonedDrain(t *testing.T) {
+	srv, mgr, addr := newTestServer(t, Options{RequestTimeout: 30 * time.Millisecond}, lsConfig("v0"))
+	v, _ := mgr.Get("v0")
+	release := stallVolume(t, v)
+
+	const window = 8
+	ac, err := DialAsync(addr, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+
+	done := make(chan *Call, window)
+	for i := 0; i < window; i++ {
+		if _, err := ac.Submit(Request{Op: OpWrite, Volume: "v0", Extent: geom.Ext(geom.Sector(i*8), 8)}, done); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	for i := 0; i < window; i++ {
+		call := <-done
+		_, err := call.Result()
+		var se *StatusError
+		if !errors.As(err, &se) || se.Status != StatusTimeout {
+			t.Fatalf("call %d: %v, want StatusTimeout", call.ID, err)
+		}
+	}
+	if n := srv.Abandoned(); n != 0 {
+		t.Fatalf("Abandoned = %d before the stalled requests could execute", n)
+	}
+	release()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Abandoned() != window {
+		if time.Now().After(deadline) {
+			t.Fatalf("Abandoned = %d after release, want %d", srv.Abandoned(), window)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The connection survived the whole episode: the drained window
+	// serves fresh requests.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		_, err := ac.roundTrip(request{Op: OpWrite, Volume: "v0", Extent: geom.Ext(0, 8)})
+		if err == nil {
+			break
+		}
+		if !IsOverloaded(err) {
+			t.Fatalf("write after timeout drain: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("window never freed after drain: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMalformedFramesAndPoolBalance sends broken v2 frames at a live
+// server: a frame with an ID but a bad op must come back
+// StatusBadRequest with the connection intact; a frame too short to
+// carry an ID must close the connection. Across the whole episode the
+// frame pool's get/put counters must stay balanced — no path leaks a
+// pooled buffer.
+func TestMalformedFramesAndPoolBalance(t *testing.T) {
+	gets0, puts0 := framePool.Stats()
+	srv, _, addr := newTestServer(t, Options{}, lsConfig("v0"))
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	version, window, err := clientHello(conn, Version2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != Version2 || window != 4 {
+		t.Fatalf("negotiated v%d w%d, want v2 w4", version, window)
+	}
+
+	// Bad op under a valid ID: clean error response, connection lives.
+	frame := binary.LittleEndian.AppendUint32(nil, idSize+1)
+	frame = binary.LittleEndian.AppendUint64(frame, 77)
+	frame = append(frame, 0xEE) // unknown op
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := readFrame(conn, nil)
+	if err != nil {
+		t.Fatalf("no response to bad op: %v", err)
+	}
+	id, status, _, err := parseResponseV2(resp)
+	if err != nil || id != 77 || status != StatusBadRequest {
+		t.Fatalf("bad-op response id=%d status=%d err=%v, want id=77 bad-request", id, status, err)
+	}
+
+	// A valid request still works on the same connection.
+	req, err := appendRequestV2(nil, 78, request{Op: OpWrite, Volume: "v0", Extent: geom.Ext(0, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = readFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, status, _, _ := parseResponseV2(resp); id != 78 || status != StatusOK {
+		t.Fatalf("post-error write id=%d status=%d, want id=78 ok", id, status)
+	}
+
+	// Too short for an ID: the server must drop the link, not hang.
+	short := binary.LittleEndian.AppendUint32(nil, 3)
+	short = append(short, 1, 2, 3)
+	if _, err := conn.Write(short); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := readFrame(conn, nil); err == nil {
+		t.Fatal("server answered a frame with no request ID, want closed connection")
+	}
+
+	srv.Close()
+	gets1, puts1 := framePool.Stats()
+	if got, put := gets1-gets0, puts1-puts0; got != put {
+		t.Fatalf("frame pool leaked: %d gets, %d puts across the episode", got, put)
+	}
+}
+
+// TestV2CodecAllocs pins the server hot path's allocation budget: once
+// a volume name is interned, decoding a request and encoding its
+// response must not allocate at all (the acceptance bar is ≤2 per
+// request; the codec itself is zero).
+func TestV2CodecAllocs(t *testing.T) {
+	names := make(nameCache)
+	frame, err := appendRequestV2(nil, 1, request{Op: OpWrite, Volume: "vol0", Extent: geom.Ext(4096, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[4:]
+	out := make([]byte, 0, 4096)
+	if _, _, err := parseRequestV2(payload, names); err != nil {
+		t.Fatal(err) // prime the name cache
+	}
+	var id uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		var req request
+		id, req, err = parseRequestV2(payload, names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = req
+		out = appendResponseV2(out[:0], id, StatusOK, nil)
+		var body [4]byte
+		binary.LittleEndian.PutUint32(body[:], 3)
+		out = appendResponseV2(out, id, StatusOK, body[:])
+	})
+	if allocs > 0 {
+		t.Errorf("v2 codec hot path allocates %.1f per request, want 0", allocs)
+	}
+}
+
+// TestAsyncSubmitAfterClose pins the submit/close contract: Submit on a
+// closed client fails fast with ErrClientClosed or the sticky transport
+// error — never a hang, never a nil Call delivery.
+func TestAsyncSubmitAfterClose(t *testing.T) {
+	_, _, addr := newTestServer(t, Options{}, lsConfig("v0"))
+	ac, err := DialAsync(addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac.Close()
+	done := make(chan *Call, 1)
+	if _, err := ac.Submit(Request{Op: OpWrite, Volume: "v0", Extent: geom.Ext(0, 8)}, done); err == nil {
+		t.Fatal("Submit on a closed client succeeded")
+	}
+	select {
+	case call := <-done:
+		t.Fatalf("closed client delivered call %d", call.ID)
+	default:
+	}
+}
+
+// TestV2SingleConnReplayDeterminism: a pipelined replay on one v2
+// connection dispatches in send order, so its volume stats must be
+// bit-identical to the synchronous client's replay of the same trace —
+// the determinism contract the conformance matrix relies on.
+func TestV2SingleConnReplayDeterminism(t *testing.T) {
+	recs := confTrace(t)
+	run := func(pipelined bool) volume.Result {
+		_, mgr, addr := newTestServer(t, Options{}, lsConfig("d0"))
+		if pipelined {
+			ac, err := DialAsync(addr, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ac.Close()
+			if _, err := ac.Replay("d0", trace.NewSliceReader(recs)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			c, err := DialVersion(context.Background(), addr, Version)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Replay("d0", trace.NewSliceReader(recs)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v, _ := mgr.Get("d0")
+		done := make(chan volume.Result, 1)
+		if err := v.TryDo(volume.Request{Kind: volume.OpStat}, done); err != nil {
+			t.Fatal(err)
+		}
+		return <-done
+	}
+	sync := run(false)
+	pipe := run(true)
+	if *sync.Stats != *pipe.Stats {
+		t.Errorf("pipelined replay diverged from synchronous:\n sync %+v\n pipe %+v", *sync.Stats, *pipe.Stats)
+	}
+}

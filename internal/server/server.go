@@ -57,11 +57,16 @@ type ReplHooks interface {
 type Options struct {
 	// RequestTimeout bounds one request's execution once admitted to a
 	// volume queue (0 = no bound). On expiry the client gets
-	// StatusTimeout and the connection is closed: the request is still
-	// queued and will execute, so the connection's synchronous ordering
-	// guarantee no longer holds. The in-flight result is drained in the
-	// background (see Abandoned).
+	// StatusTimeout; on a v1 connection the connection is then closed
+	// (its synchronous ordering guarantee no longer holds), while a v2
+	// connection stays open — out-of-order completion makes the late
+	// result harmless. Either way the request is still queued and will
+	// execute; its result is drained and counted (see Abandoned).
 	RequestTimeout time.Duration
+	// MaxWindow caps the per-connection in-flight window granted to
+	// SMRD2 clients (0 = DefaultMaxWindow). v1 connections are always
+	// window 1.
+	MaxWindow int
 	// Repl attaches replication behavior (nil = standalone).
 	Repl ReplHooks
 	// Logf receives connection-level diagnostics (nil = log.Printf).
@@ -165,8 +170,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	if err := handshake(conn); err != nil {
+	ver, window, err := serverHello(conn, s.opts.MaxWindow)
+	if err != nil {
 		s.opts.Logf("smrd: %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if ver >= Version2 {
+		s.serveConnV2(conn, window)
 		return
 	}
 	// Per-connection scratch, reused across requests: frame buffer,
@@ -337,14 +347,21 @@ func (s *Server) roleInfo() RoleInfo {
 
 // appendRole encodes a RoleInfo response (or the promotion failure).
 func (s *Server) appendRole(out []byte, info RoleInfo, err error) []byte {
+	status, body := roleBody(info, err)
+	return appendResponse(out, status, body)
+}
+
+// roleBody renders a RoleInfo response body (or the promotion failure)
+// for either protocol version to frame.
+func roleBody(info RoleInfo, err error) (uint8, []byte) {
 	if err != nil {
-		return appendResponse(out, statusOf(err), []byte(err.Error()))
+		return statusOf(err), []byte(err.Error())
 	}
 	body, merr := json.Marshal(&info)
 	if merr != nil {
-		return appendResponse(out, StatusInternal, []byte(merr.Error()))
+		return StatusInternal, []byte(merr.Error())
 	}
-	return appendResponse(out, StatusOK, body)
+	return StatusOK, body
 }
 
 // appendOK encodes a successful result's op-specific body.

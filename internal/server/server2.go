@@ -1,0 +1,426 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"smrseek/internal/core"
+	"smrseek/internal/volume"
+)
+
+// SMRD2 service path. Each connection splits into two goroutines:
+//
+//   - The reader (the original serveConn goroutine) decodes request
+//     frames from a pooled buffer, answers control ops and pre-dispatch
+//     errors through the direct channel, and dispatches volume ops via
+//     TryDo with the request ID as the Tag. The request's metadata (op,
+//     volume, admit time) is sent on the submits channel strictly AFTER
+//     the TryDo succeeds, so the writer can always reconcile a result
+//     against a metadata record that is either already queued or
+//     imminent.
+//
+//   - The writer drains the shared completion channel (one buffered
+//     channel per connection, capacity = the negotiated window, so the
+//     volume actor never blocks publishing a result), matches results to
+//     metadata by Tag, encodes responses into a pooled buffer, and
+//     flushes in batches: everything ready now goes out in one Write, so
+//     the per-volume actor absorbs whole network batches per wakeup.
+//
+// Timeouts do not close a v2 connection: the timed-out ID gets a
+// StatusTimeout response, the eventual result is counted in Abandoned
+// and dropped, and later requests proceed. (Per-volume dispatch order is
+// unaffected — the request still executes; only its response is
+// replaced.)
+
+// flushThreshold caps how much encoded response the writer batches
+// before forcing a flush mid-drain.
+const flushThreshold = 256 << 10
+
+// v2direct is a reader-crafted response (decode errors, control ops,
+// shed beyond the window) routed through the writer so that the
+// connection has a single writing goroutine.
+type v2direct struct {
+	id     uint64
+	status uint8
+	body   []byte
+}
+
+// v2meta is the reader's record of a dispatched volume request; the
+// writer needs it to encode the op-specific response body and to time
+// the request out.
+type v2meta struct {
+	id  uint64
+	op  uint8
+	vol string
+	at  time.Time // admit time; zero when no RequestTimeout is set
+}
+
+// v2conn is the state shared between a v2 connection's reader and
+// writer.
+type v2conn struct {
+	s      *Server
+	conn   net.Conn
+	window int
+
+	done    chan volume.Result // volume completions, Tag = request ID
+	direct  chan v2direct      // reader-crafted responses
+	submits chan v2meta        // metadata for dispatched volume requests
+	dead    chan struct{}      // closed when the writer exits
+
+	// outstanding counts dispatched volume requests whose results the
+	// writer has not yet consumed. Only the reader increments, so its
+	// window check can only over-count — never admit past the window.
+	outstanding atomic.Int64
+}
+
+func (s *Server) serveConnV2(conn net.Conn, window int) {
+	c := &v2conn{
+		s:       s,
+		conn:    conn,
+		window:  window,
+		done:    make(chan volume.Result, window),
+		direct:  make(chan v2direct, window),
+		submits: make(chan v2meta, window),
+		dead:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go c.writer()
+
+	names := make(nameCache)
+	buf := framePool.Get()
+	for {
+		frame, err := readFrame(conn, buf)
+		if err != nil {
+			if s.ctx.Err() == nil && !isClosedConn(err) {
+				s.opts.Logf("smrd: %s: %v", conn.RemoteAddr(), err)
+			}
+			break
+		}
+		buf = frame
+		if !s.handleV2(c, frame, names) {
+			break
+		}
+	}
+	framePool.Put(buf)
+	// The reader is the only sender on both channels; closing them tells
+	// the writer to drain what is outstanding and exit.
+	close(c.submits)
+	close(c.direct)
+	<-c.dead
+}
+
+// handleV2 decodes and dispatches one v2 request frame on the reader.
+// false means the connection is unrecoverable (undecodable framing or a
+// dead writer) and must close.
+func (s *Server) handleV2(c *v2conn, frame []byte, names nameCache) bool {
+	id, req, err := parseRequestV2(frame, names)
+	if err != nil {
+		if len(frame) < idSize {
+			// No ID to answer with: framing is broken, drop the link.
+			s.opts.Logf("smrd: %s: %v", c.conn.RemoteAddr(), err)
+			return false
+		}
+		return c.sendDirect(id, StatusBadRequest, []byte(err.Error()))
+	}
+
+	switch req.Op {
+	case OpRole:
+		return c.sendRole(id, s.roleInfo(), nil)
+	case OpPromote:
+		if s.opts.Repl == nil {
+			return c.sendRole(id, s.roleInfo(), nil)
+		}
+		info, err := s.opts.Repl.Promote()
+		return c.sendRole(id, info, err)
+	case OpAck:
+		if s.opts.Repl != nil {
+			s.opts.Repl.Ack(req.Volume, req.Gen, req.Off)
+		}
+		return c.sendDirect(id, StatusOK, nil)
+	}
+
+	mgr := s.mgr.Load()
+	if mgr == nil {
+		return c.sendDirect(id, StatusNotPrimary, []byte("node has no open volumes (unpromoted follower)"))
+	}
+	if isDataOp(req.Op) && s.opts.Repl != nil && !s.opts.Repl.AcceptingData() {
+		return c.sendDirect(id, StatusNotPrimary, []byte("node is not the serving primary"))
+	}
+	vol, ok := mgr.Get(req.Volume)
+	if !ok {
+		return c.sendDirect(id, StatusUnknownVolume, []byte("unknown volume "+req.Volume))
+	}
+	var kind volume.Op
+	switch req.Op {
+	case OpWrite:
+		kind = volume.OpWrite
+	case OpRead:
+		kind = volume.OpRead
+	case OpStat:
+		kind = volume.OpStat
+	case OpSnapshot:
+		kind = volume.OpSnapshot
+	case OpVerify:
+		kind = volume.OpVerify
+	case OpProof:
+		kind = volume.OpProof
+	case OpShip:
+		kind = volume.OpShip
+	case OpTail:
+		// Long-poll on the reader: no further frames can arrive from this
+		// client anyway until it sees sealed bytes, and followers dedicate
+		// a connection to tailing.
+		if s.opts.Repl != nil {
+			s.opts.Repl.WaitTail(s.ctx, req.Volume, req.Gen, req.Off)
+		}
+		kind = volume.OpShip
+	}
+
+	// Window enforcement: a client pushing past its grant is shed, not
+	// stalled — the same contract the volume queue applies.
+	if c.outstanding.Load() >= int64(c.window) {
+		return c.sendDirect(id, StatusOverloaded, []byte("connection window exceeded"))
+	}
+	c.outstanding.Add(1)
+	if err := vol.TryDo(volume.Request{Kind: kind, Extent: req.Extent, Seq: req.Seq, Gen: req.Gen, Off: req.Off, Tag: id}, c.done); err != nil {
+		c.outstanding.Add(-1)
+		return c.sendDirect(id, statusOf(err), []byte(err.Error()))
+	}
+	m := v2meta{id: id, op: req.Op, vol: req.Volume}
+	if s.opts.RequestTimeout > 0 {
+		m.at = time.Now()
+	}
+	select {
+	case c.submits <- m:
+		return true
+	case <-c.dead:
+		return false
+	}
+}
+
+// sendDirect routes a reader-crafted response through the writer. body
+// must not alias the frame buffer (error strings and nil bodies are
+// fine).
+func (c *v2conn) sendDirect(id uint64, status uint8, body []byte) bool {
+	select {
+	case c.direct <- v2direct{id: id, status: status, body: body}:
+		return true
+	case <-c.dead:
+		return false
+	}
+}
+
+// sendRole encodes a RoleInfo (or promotion failure) and routes it
+// through the writer.
+func (c *v2conn) sendRole(id uint64, info RoleInfo, err error) bool {
+	status, body := roleBody(info, err)
+	return c.sendDirect(id, status, body)
+}
+
+// writer is a v2 connection's single writing goroutine: it owns the
+// response buffer and the connection's write side.
+func (c *v2conn) writer() {
+	defer c.s.wg.Done()
+	defer close(c.dead)
+
+	out := framePool.Get()
+	defer func() { framePool.Put(out) }()
+
+	var (
+		pending    = make(map[uint64]v2meta) // dispatched, result not yet seen
+		timedOut   = make(map[uint64]bool)   // answered StatusTimeout already
+		submits    = c.submits               // nil once closed
+		direct     = c.direct                // nil once closed
+		writeErr   error
+		timeoutMsg []byte
+		tickC      <-chan time.Time
+	)
+	d := c.s.opts.RequestTimeout
+	if d > 0 {
+		// Coarse expiry scan: a quarter-period tick bounds how late a
+		// timeout fires without per-request timers.
+		period := d / 4
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		tickC = tick.C
+		timeoutMsg = []byte("request exceeded " + d.String())
+	}
+
+	flush := func() {
+		if len(out) == 0 {
+			return
+		}
+		if writeErr == nil {
+			if _, err := c.conn.Write(out); err != nil {
+				writeErr = err
+				c.conn.Close() // unblock the reader
+			}
+		}
+		out = out[:0]
+	}
+
+	// complete consumes one volume result: reconcile metadata, encode or
+	// abandon.
+	complete := func(res volume.Result) {
+		id := res.Tag
+		m, ok := pending[id]
+		if !ok {
+			// The result outran its metadata: the reader sends on submits
+			// strictly after TryDo, so the record is queued or imminent —
+			// drain submits until it shows up. This cannot deadlock: a
+			// result implies a completed TryDo implies a matching send.
+			for !ok && submits != nil {
+				m2, open := <-submits
+				if !open {
+					submits = nil
+					break
+				}
+				pending[m2.id] = m2
+				if m2.id == id {
+					m, ok = m2, true
+				}
+			}
+		}
+		c.outstanding.Add(-1)
+		delete(pending, id)
+		if !ok || timedOut[id] {
+			delete(timedOut, id)
+			c.s.abandoned.Add(1)
+			return
+		}
+		if res.Err != nil {
+			out = appendResponseV2(out, id, statusOf(res.Err), []byte(res.Err.Error()))
+			return
+		}
+		if m.op == OpWrite && res.Seq > 0 && c.s.opts.Repl != nil {
+			// Semi-synchronous replication: everything encoded so far goes
+			// out before this write's OK is gated, so earlier responses are
+			// not held hostage.
+			flush()
+			c.s.opts.Repl.GateWrite(m.vol, res.Seq)
+		}
+		out = c.appendOKV2(out, id, m.op, res)
+	}
+
+	for {
+		if submits == nil && direct == nil && c.outstanding.Load() == 0 {
+			flush()
+			return
+		}
+		if len(out) > 0 {
+			// Opportunistic batch: take whatever is ready without
+			// blocking; flush the moment the connection goes quiet.
+			select {
+			case res := <-c.done:
+				complete(res)
+			case dr, open := <-direct:
+				if !open {
+					direct = nil
+					break
+				}
+				out = appendResponseV2(out, dr.id, dr.status, dr.body)
+			case m, open := <-submits:
+				if !open {
+					submits = nil
+					break
+				}
+				pending[m.id] = m
+			case <-tickC:
+				c.scanTimeouts(pending, timedOut, &out, timeoutMsg)
+			case <-c.s.ctx.Done():
+				flush()
+				return
+			default:
+				flush()
+			}
+		} else {
+			select {
+			case res := <-c.done:
+				complete(res)
+			case dr, open := <-direct:
+				if !open {
+					direct = nil
+					break
+				}
+				out = appendResponseV2(out, dr.id, dr.status, dr.body)
+			case m, open := <-submits:
+				if !open {
+					submits = nil
+					break
+				}
+				pending[m.id] = m
+			case <-tickC:
+				c.scanTimeouts(pending, timedOut, &out, timeoutMsg)
+			case <-c.s.ctx.Done():
+				// Server shutdown: results still in flight land in the
+				// buffered done channel (capacity = window), so the volume
+				// actor is never blocked by this early exit.
+				flush()
+				return
+			}
+		}
+		if len(out) >= flushThreshold {
+			flush()
+		}
+	}
+}
+
+// scanTimeouts answers StatusTimeout for every pending request past the
+// deadline. The request still executes; its result is later counted in
+// Abandoned. The connection stays open — out-of-order completion means
+// later requests are unaffected.
+func (c *v2conn) scanTimeouts(pending map[uint64]v2meta, timedOut map[uint64]bool, out *[]byte, msg []byte) {
+	d := c.s.opts.RequestTimeout
+	now := time.Now()
+	for id, m := range pending {
+		if !timedOut[id] && now.Sub(m.at) >= d {
+			timedOut[id] = true
+			*out = appendResponseV2(*out, id, StatusTimeout, msg)
+		}
+	}
+}
+
+// appendOKV2 encodes a successful result's op-specific body as a v2
+// frame. The write and read arms — the hot path — allocate nothing.
+func (c *v2conn) appendOKV2(out []byte, id uint64, op uint8, res volume.Result) []byte {
+	switch op {
+	case OpShip, OpTail:
+		var epoch uint64
+		if c.s.opts.Repl != nil {
+			epoch = c.s.opts.Repl.Epoch()
+		}
+		return appendResponseV2(out, id, StatusOK, appendShipBody(nil, epoch, *res.Ship))
+	case OpRead:
+		var body [4]byte
+		binary.LittleEndian.PutUint32(body[:], uint32(res.Frags))
+		return appendResponseV2(out, id, StatusOK, body[:])
+	case OpStat:
+		st := *res.Stats
+		st.Config = core.Config{}
+		body, err := json.Marshal(&st)
+		if err != nil {
+			return appendResponseV2(out, id, StatusInternal, []byte(err.Error()))
+		}
+		return appendResponseV2(out, id, StatusOK, body)
+	case OpVerify:
+		body, err := json.Marshal(res.Audit)
+		if err != nil {
+			return appendResponseV2(out, id, StatusInternal, []byte(err.Error()))
+		}
+		return appendResponseV2(out, id, StatusOK, body)
+	case OpProof:
+		body, err := json.Marshal(res.Proof)
+		if err != nil {
+			return appendResponseV2(out, id, StatusInternal, []byte(err.Error()))
+		}
+		return appendResponseV2(out, id, StatusOK, body)
+	default:
+		return appendResponseV2(out, id, StatusOK, nil)
+	}
+}

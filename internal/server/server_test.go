@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"io"
@@ -316,7 +317,9 @@ func TestServerRequestTimeout(t *testing.T) {
 	release := stallVolume(t, v)
 	defer release()
 
-	c, err := Dial(addr)
+	// A v1 connection: synchronous ordering is the protocol, so a
+	// timeout must close the connection.
+	c, err := DialVersion(context.Background(), addr, Version)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +333,52 @@ func TestServerRequestTimeout(t *testing.T) {
 	// this connection is no longer guaranteed.
 	release()
 	if err := c.Write("v0", geom.Ext(0, 8)); err == nil {
-		t.Error("connection survived a timeout, want closed")
+		t.Error("v1 connection survived a timeout, want closed")
+	}
+}
+
+// TestServerRequestTimeoutV2 pins the SMRD2 timeout contract: the
+// connection survives — responses are matched by ID, so a late result
+// is discarded without corrupting anything — and the window seat is
+// freed once the stalled request finally executes.
+func TestServerRequestTimeoutV2(t *testing.T) {
+	srv, mgr, addr := newTestServer(t, Options{RequestTimeout: 30 * time.Millisecond}, lsConfig("v0"))
+	v, _ := mgr.Get("v0")
+	release := stallVolume(t, v)
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got, want := c.Version(), uint8(Version2); got != want {
+		t.Fatalf("negotiated version %d, want %d", got, want)
+	}
+	err = c.Write("v0", geom.Ext(0, 8))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != StatusTimeout {
+		t.Fatalf("stalled write: err = %v, want StatusTimeout", err)
+	}
+	release()
+	// The same connection keeps working once the abandoned request has
+	// drained and released its window seat. Until then a window=1
+	// connection sheds — retryable, unlike v1's hard close.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := c.Write("v0", geom.Ext(0, 8))
+		if err == nil {
+			break
+		}
+		if !IsOverloaded(err) {
+			t.Fatalf("write after v2 timeout: %v, want success or overloaded", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("window seat never freed after timeout: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := srv.Abandoned(); n != 1 {
+		t.Errorf("Abandoned = %d after a v2 timeout drained, want 1", n)
 	}
 }
 

@@ -61,6 +61,13 @@ func DialSet(ctx context.Context, addrs []string) (*Set, error) {
 // Primary returns the address of the node currently serving as primary.
 func (s *Set) Primary() string { return s.cur }
 
+// Reroute re-probes the set and re-elects (promoting a follower if
+// needed) the serving primary, for callers that hold their own data
+// connection — the pipelined load driver dials an AsyncClient at
+// Primary() and calls Reroute when that connection dies or demotes.
+// The caller owns failover accounting; Failovers is not incremented.
+func (s *Set) Reroute() error { return s.failover() }
+
 // Epoch returns the highest fencing epoch the set has observed.
 func (s *Set) Epoch() uint64 { return s.epoch }
 

@@ -3,16 +3,24 @@
 // and provides the matching client library used by cmd/smrload and the
 // end-to-end tests. The record layout is documented in docs/FORMATS.md.
 //
-// Every connection is synchronous: one request frame, one response
-// frame, in order. Concurrency comes from connections, not pipelining —
-// which keeps per-volume ordering exactly the per-connection send order,
-// the property the determinism acceptance test pins down.
+// Two protocol versions share the framing. SMRD v1 is synchronous: one
+// request frame, one response frame, in order — per-volume ordering is
+// exactly the per-connection send order. SMRD2 multiplexes: every frame
+// carries a uint64 request ID, a client may keep up to a negotiated
+// window of requests in flight per connection, and responses complete
+// out of order (matched by ID). Requests from one connection are still
+// dispatched to the volume actor in send order, so a single v2
+// connection replaying a trace remains bit-deterministic; only the
+// responses are reordered. Version and window are negotiated in the
+// hello, and a v2 server accepts v1 clients unchanged.
 package server
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"smrseek/internal/geom"
 	"smrseek/internal/journal"
@@ -23,6 +31,9 @@ const (
 	// Magic + version exchanged once per connection, client first.
 	Magic   = "SMRD"
 	Version = 1
+	// Version2 is the multiplexed SMRD2 protocol: id-stamped frames,
+	// windowed pipelining, out-of-order completion.
+	Version2 = 2
 
 	// MaxFrame bounds a frame's post-length payload; stat responses
 	// (JSON statistics) are the largest legitimate frames.
@@ -30,6 +41,16 @@ const (
 
 	// MaxVolumeName bounds the volume-name field (its length is a uint8).
 	MaxVolumeName = 255
+
+	// DefaultWindow is the per-connection in-flight window granted to a
+	// v2 client that requests 0 ("server default").
+	DefaultWindow = 32
+	// DefaultMaxWindow caps the window a server grants unless
+	// Options.MaxWindow overrides it.
+	DefaultMaxWindow = 256
+	// HardMaxWindow bounds any negotiated window: it also sizes the
+	// per-connection completion channel, so it must stay moderate.
+	HardMaxWindow = 1 << 14
 )
 
 // Request opcodes (first payload byte of a request frame).
@@ -118,9 +139,6 @@ type request struct {
 // `seq uint64 LE` for proof, `gen uint64 LE, off uint64 LE` for
 // ship/tail/ack, and empty otherwise.
 func appendRequest(dst []byte, req request) ([]byte, error) {
-	if len(req.Volume) > MaxVolumeName {
-		return dst, fmt.Errorf("server: volume name %d bytes long (max %d)", len(req.Volume), MaxVolumeName)
-	}
 	body := 2 + len(req.Volume)
 	switch req.Op {
 	case OpWrite, OpRead, OpShip, OpTail, OpAck:
@@ -129,6 +147,15 @@ func appendRequest(dst []byte, req request) ([]byte, error) {
 		body += 8
 	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
+	return appendRequestPayload(dst, req)
+}
+
+// appendRequestPayload encodes the request payload without a length
+// prefix (the v2 encoder stamps the ID between prefix and payload).
+func appendRequestPayload(dst []byte, req request) ([]byte, error) {
+	if len(req.Volume) > MaxVolumeName {
+		return dst, fmt.Errorf("server: volume name %d bytes long (max %d)", len(req.Volume), MaxVolumeName)
+	}
 	dst = append(dst, req.Op, uint8(len(req.Volume)))
 	dst = append(dst, req.Volume...)
 	switch req.Op {
@@ -144,9 +171,32 @@ func appendRequest(dst []byte, req request) ([]byte, error) {
 	return dst, nil
 }
 
+// nameCache interns volume-name strings so the v2 reader's steady state
+// allocates nothing per request: the first request for a volume pays one
+// string allocation, every later one reuses it. Bounded so a client
+// spraying names cannot grow it without limit.
+type nameCache map[string]string
+
+const maxCachedNames = 256
+
+func (nc nameCache) intern(b []byte) string {
+	if s, ok := nc[string(b)]; ok { // no-alloc map lookup on []byte key
+		return s
+	}
+	s := string(b)
+	if nc != nil && len(nc) < maxCachedNames {
+		nc[s] = s
+	}
+	return s
+}
+
 // parseRequest decodes a request frame payload (everything after the
 // length prefix).
-func parseRequest(p []byte) (request, error) {
+func parseRequest(p []byte) (request, error) { return parseRequestNamed(p, nil) }
+
+// parseRequestNamed is parseRequest with volume names interned through
+// names (nil = allocate per call).
+func parseRequestNamed(p []byte, names nameCache) (request, error) {
 	if len(p) < 2 {
 		return request{}, fmt.Errorf("server: request frame %d bytes, want >= 2", len(p))
 	}
@@ -156,7 +206,7 @@ func parseRequest(p []byte) (request, error) {
 	if len(p) < vlen {
 		return request{}, fmt.Errorf("server: request truncated inside volume name")
 	}
-	req.Volume = string(p[:vlen])
+	req.Volume = names.intern(p[:vlen])
 	p = p[vlen:]
 	switch req.Op {
 	case OpWrite, OpRead:
@@ -213,11 +263,17 @@ func appendResponse(dst []byte, status uint8, body []byte) []byte {
 // readFrame reads one length-prefixed frame payload into buf (growing it
 // as needed) and returns the payload slice.
 func readFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// The header is staged in buf rather than a local array: passing a
+	// stack array through the io.Reader interface makes it escape, which
+	// costs an allocation per frame on the server's hot read loop.
+	if cap(buf) < 4 {
+		buf = make([]byte, 4, 512)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr)
 	if n == 0 {
 		return nil, fmt.Errorf("server: empty frame")
 	}
@@ -305,7 +361,10 @@ func parseShipBody(p []byte) (epoch uint64, c journal.ShipChunk, err error) {
 	return epoch, c, nil
 }
 
-// handshake performs one side's hello exchange: write ours, read theirs.
+// handshake is the legacy v1 client hello: write ours, read theirs,
+// require version 1 exactly. A v2 server answers it with version 1 and
+// serves the connection synchronously, so pre-SMRD2 clients interoperate
+// unchanged. Kept for the v1 client path and the raw-frame tests.
 func handshake(rw io.ReadWriter) error {
 	hello := append([]byte(Magic), Version)
 	if _, err := rw.Write(hello); err != nil {
@@ -323,3 +382,180 @@ func handshake(rw io.ReadWriter) error {
 	}
 	return nil
 }
+
+// clientHello negotiates version and window from the client side. The
+// client sends Magic + its highest supported version; a v2 hello is
+// followed by a uint16 LE requested window (0 = server default). The
+// server answers Magic + negotiated version, plus the granted uint16
+// window when v2 was negotiated. The granted window never exceeds the
+// request (when the request was non-zero).
+func clientHello(rw io.ReadWriter, version uint8, window int) (negVersion uint8, negWindow int, err error) {
+	if version < Version || version > Version2 {
+		return 0, 0, fmt.Errorf("server: unsupported client version %d", version)
+	}
+	if window < 0 || window > HardMaxWindow {
+		return 0, 0, fmt.Errorf("server: requested window %d out of range [0, %d]", window, HardMaxWindow)
+	}
+	hello := append([]byte(Magic), version)
+	if version >= Version2 {
+		hello = binary.LittleEndian.AppendUint16(hello, uint16(window))
+	}
+	if _, err := rw.Write(hello); err != nil {
+		return 0, 0, fmt.Errorf("server: hello: %w", err)
+	}
+	var peer [len(Magic) + 1]byte
+	if _, err := io.ReadFull(rw, peer[:]); err != nil {
+		return 0, 0, fmt.Errorf("server: hello: %w", err)
+	}
+	if string(peer[:len(Magic)]) != Magic {
+		return 0, 0, fmt.Errorf("server: bad hello magic %q", peer[:len(Magic)])
+	}
+	negVersion = peer[len(Magic)]
+	if negVersion < Version || negVersion > version {
+		return 0, 0, fmt.Errorf("server: negotiated version %d, asked for <= %d", negVersion, version)
+	}
+	if negVersion < Version2 {
+		return negVersion, 1, nil
+	}
+	var wbuf [2]byte
+	if _, err := io.ReadFull(rw, wbuf[:]); err != nil {
+		return 0, 0, fmt.Errorf("server: hello window: %w", err)
+	}
+	negWindow = int(binary.LittleEndian.Uint16(wbuf[:]))
+	if negWindow < 1 || (window > 0 && negWindow > window) {
+		return 0, 0, fmt.Errorf("server: granted window %d, requested %d", negWindow, window)
+	}
+	return negVersion, negWindow, nil
+}
+
+// serverHello answers a client hello: read the client's version (and
+// window request, for v2), clamp both, and reply. maxWindow <= 0 means
+// DefaultMaxWindow.
+func serverHello(rw io.ReadWriter, maxWindow int) (version uint8, window int, err error) {
+	var peer [len(Magic) + 1]byte
+	if _, err := io.ReadFull(rw, peer[:]); err != nil {
+		return 0, 0, fmt.Errorf("server: hello: %w", err)
+	}
+	if string(peer[:len(Magic)]) != Magic {
+		return 0, 0, fmt.Errorf("server: bad hello magic %q", peer[:len(Magic)])
+	}
+	version = peer[len(Magic)]
+	if version < Version {
+		return 0, 0, fmt.Errorf("server: client version %d, want >= %d", version, Version)
+	}
+	requested := 0
+	if version >= Version2 {
+		version = Version2 // serve our highest; the client asked for at least it
+		var wbuf [2]byte
+		if _, err := io.ReadFull(rw, wbuf[:]); err != nil {
+			return 0, 0, fmt.Errorf("server: hello window: %w", err)
+		}
+		requested = int(binary.LittleEndian.Uint16(wbuf[:]))
+	}
+	window = 1
+	if version >= Version2 {
+		if maxWindow <= 0 {
+			maxWindow = DefaultMaxWindow
+		}
+		if maxWindow > HardMaxWindow {
+			maxWindow = HardMaxWindow
+		}
+		window = requested
+		if window == 0 {
+			window = DefaultWindow
+		}
+		if window > maxWindow {
+			window = maxWindow
+		}
+	}
+	reply := append([]byte(Magic), version)
+	if version >= Version2 {
+		reply = binary.LittleEndian.AppendUint16(reply, uint16(window))
+	}
+	if _, err := rw.Write(reply); err != nil {
+		return 0, 0, fmt.Errorf("server: hello: %w", err)
+	}
+	return version, window, nil
+}
+
+// v2 frame layout: the length-prefixed payload starts with the uint64 LE
+// request ID; the rest is exactly the v1 payload (request: op, vlen,
+// name, body; response: status, body). Frame boundaries are therefore
+// identical across versions — anything that walks frames (the chaos
+// proxy, readFrame) is version-agnostic.
+const idSize = 8
+
+// appendRequestV2 encodes a v2 request frame: len | id | v1 payload.
+func appendRequestV2(dst []byte, id uint64, req request) ([]byte, error) {
+	lenAt := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // patched below
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst, err := appendRequestPayload(dst, req)
+	if err != nil {
+		return dst[:lenAt], err
+	}
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst, nil
+}
+
+// parseRequestV2 splits a v2 request payload into its ID and the decoded
+// request.
+func parseRequestV2(p []byte, names nameCache) (uint64, request, error) {
+	if len(p) < idSize+1 {
+		return 0, request{}, fmt.Errorf("server: v2 request frame %d bytes, want >= %d", len(p), idSize+1)
+	}
+	id := binary.LittleEndian.Uint64(p[:idSize])
+	req, err := parseRequestNamed(p[idSize:], names)
+	return id, req, err
+}
+
+// appendResponseV2 encodes a v2 response frame: len | id | status | body.
+func appendResponseV2(dst []byte, id uint64, status uint8, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(idSize+1+len(body)))
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = append(dst, status)
+	return append(dst, body...)
+}
+
+// parseResponseV2 splits a v2 response payload into ID, status and body.
+func parseResponseV2(p []byte) (id uint64, status uint8, body []byte, err error) {
+	if len(p) < idSize+1 {
+		return 0, 0, nil, fmt.Errorf("server: v2 response frame %d bytes, want >= %d", len(p), idSize+1)
+	}
+	return binary.LittleEndian.Uint64(p[:idSize]), p[idSize], p[idSize+1:], nil
+}
+
+// framePool recycles frame buffers between connections and response
+// flushes, with get/put accounting so tests can assert no path leaks a
+// buffer. Oversized buffers (a huge ship or stat response) are dropped
+// on Put rather than pinned in the pool.
+type framePoolT struct {
+	pool sync.Pool
+	gets atomic.Int64
+	puts atomic.Int64
+}
+
+const maxPooledBuf = MaxFrame
+
+var framePool framePoolT
+
+func (p *framePoolT) Get() []byte {
+	p.gets.Add(1)
+	if b, ok := p.pool.Get().(*[]byte); ok {
+		return (*b)[:0]
+	}
+	return make([]byte, 0, 4096)
+}
+
+func (p *framePoolT) Put(b []byte) {
+	p.puts.Add(1)
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	p.pool.Put(&b)
+}
+
+// Stats returns the pool's cumulative get/put counts; a steady-state
+// difference beyond the live connection count is a leak.
+func (p *framePoolT) Stats() (gets, puts int64) { return p.gets.Load(), p.puts.Load() }

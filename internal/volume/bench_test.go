@@ -1,10 +1,12 @@
 package volume_test
 
 import (
+	"net"
 	"testing"
 
 	"smrseek/internal/core"
 	"smrseek/internal/geom"
+	"smrseek/internal/server"
 	"smrseek/internal/volume"
 )
 
@@ -61,6 +63,81 @@ func BenchmarkVolumeActor(b *testing.B) {
 			if err := v.Close(); err != nil {
 				b.Fatal(err)
 			}
+		})
+	}
+}
+
+// BenchmarkVolumeTCP measures the same write stream through the full
+// network service — hello, framing, the per-connection reader/writer
+// goroutines and the volume actor. "sync" is the one-outstanding-request
+// synchronous client (the v1 shape over SMRD2); "pipelined" keeps the
+// negotiated window full on the same single connection, so the batching
+// on both sides of the wire — the server writer's response coalescing
+// and the actor's batch drain — actually engages. scripts/bench.sh
+// gates both against the checked-in baseline.
+func BenchmarkVolumeTCP(b *testing.B) {
+	cases := []struct {
+		name   string
+		window int
+	}{
+		{"sync", 1},
+		{"pipelined", 256},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			mgr, err := volume.OpenAll(volume.Config{
+				Name:       "bench",
+				Sim:        core.Config{LogStructured: true, FrontierStart: 1 << 22},
+				QueueDepth: 512,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := server.New(mgr, ln, server.Options{Logf: b.Logf, MaxWindow: 256})
+			defer func() {
+				srv.Close()
+				mgr.Close()
+			}()
+			ac, err := server.DialAsync(ln.Addr().String(), bc.window)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ac.Close()
+			if got := ac.Window(); got != bc.window {
+				b.Fatalf("negotiated window %d, want %d", got, bc.window)
+			}
+			done := make(chan *server.Call, bc.window)
+			outstanding := 0
+			reap := func() {
+				call := <-done
+				outstanding--
+				if _, err := call.Result(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := server.Request{
+					Op:     server.OpWrite,
+					Volume: "bench",
+					Extent: geom.Ext(geom.Sector((int64(i)*8)%(1<<20)), 8),
+				}
+				if _, err := ac.Submit(req, done); err != nil {
+					b.Fatal(err)
+				}
+				if outstanding++; outstanding == bc.window {
+					reap()
+				}
+			}
+			for outstanding > 0 {
+				reap()
+			}
+			b.StopTimer()
 		})
 	}
 }

@@ -167,18 +167,25 @@ type Result struct {
 	// ErrNoJournal for Snapshot/Verify/Proof without a journal,
 	// journal.ErrUnsealed for a proof of an unsealed record.
 	Err error
+	// Tag echoes the Request's Tag, so many requests can share one
+	// buffered done channel and still attribute results — the SMRD2
+	// server funnels a whole connection's completions through one
+	// channel this way.
+	Tag uint64
 }
 
 // Request is one queued operation. Extent is the logical range for
 // reads and writes and ignored otherwise; Seq is the 1-based journal
 // record sequence for Proof and ignored otherwise; Gen and Off are the
-// requester's journal position for Ship and ignored otherwise.
+// requester's journal position for Ship and ignored otherwise. Tag is
+// an opaque caller correlation value echoed in the Result.
 type Request struct {
 	Kind   Op
 	Extent geom.Extent
 	Seq    int64
 	Gen    uint64
 	Off    int64
+	Tag    uint64
 	done   chan<- Result
 }
 
@@ -430,7 +437,7 @@ func (v *Volume) loop() {
 }
 
 func (v *Volume) process(req Request) {
-	var res Result
+	res := Result{Tag: req.Tag}
 	switch req.Kind {
 	case OpWrite:
 		v.sim.Step(trace.Record{Kind: disk.Write, Extent: req.Extent})

@@ -39,6 +39,17 @@ wait_addr "$work/smrd.log"
 
 "$work/smrload" -addr "$addr" -volumes a,b -workload w91 -scale 0.05 -conns 4
 
+# Same daemon, pipelined client: a full SMRD2 window in flight per
+# connection. Success means every record completed — the driver errors
+# out if any acked op is lost or any record exhausts its retries.
+"$work/smrload" -addr "$addr" -volumes a,b -workload w91 -scale 0.05 -conns 4 \
+	-window 32 >"$work/load1p.log" || {
+	echo "pipelined load failed"; cat "$work/load1p.log"; exit 1
+}
+grep -q "pipelined (window 32)" "$work/load1p.log" || {
+	echo "pipelined run not reported"; cat "$work/load1p.log"; exit 1
+}
+
 # Graceful shutdown must drain, checkpoint and print the summary table.
 kill -TERM "$pid"
 wait "$pid"
@@ -141,6 +152,50 @@ kill -TERM "$folpid"
 wait "$folpid"
 "$work/smrverify" "$work/fol" >"$work/audit4.log" || {
 	echo "promoted-follower audit failed"; cat "$work/audit4.log"; exit 1
+}
+
+# Pipelined chaos leg: the same SIGKILL-the-primary failover, but with
+# a window of acked-and-in-flight requests on the wire when the primary
+# dies. The pipelined driver must drain the broken window, re-elect,
+# resubmit what never completed and finish the whole trace — exiting
+# non-zero on any lost record.
+"$work/smrd" -listen 127.0.0.1:0 -volumes a -journal-dir "$work/prim2" \
+	-role primary -seal-every 8 -sync-timeout 2s \
+	>"$work/prim2.log" 2>&1 &
+pid=$!
+wait_addr "$work/prim2.log"
+paddr=$addr
+ppid=$pid
+"$work/smrd" -listen 127.0.0.1:0 -volumes a -journal-dir "$work/fol2" \
+	-role follower -replicate-from "$paddr" \
+	>"$work/fol2.log" 2>&1 &
+pid=$!
+folpid=$pid
+wait_addr "$work/fol2.log"
+faddr=$addr
+pid=$ppid
+
+"$work/smrload" -addrs "$paddr,$faddr" -volumes a -workload w91 -scale 0.5 \
+	-conns 2 -window 32 >"$work/load4.log" 2>&1 &
+loadpid=$!
+sleep 0.5
+kill -KILL "$ppid"
+wait "$loadpid" || {
+	echo "pipelined load did not survive primary failover"
+	cat "$work/load4.log" "$work/fol2.log"; exit 1
+}
+grep -q "failovers" "$work/load4.log" || {
+	echo "no failover accounting in pipelined load summary"; cat "$work/load4.log"; exit 1
+}
+grep -q "promoted to primary" "$work/fol2.log" || {
+	echo "follower never promoted under pipelined load"; cat "$work/fol2.log"; exit 1
+}
+
+pid=$folpid
+kill -TERM "$folpid"
+wait "$folpid"
+"$work/smrverify" "$work/fol2" >"$work/audit5.log" || {
+	echo "pipelined-leg follower audit failed"; cat "$work/audit5.log"; exit 1
 }
 
 echo "e2e ok ($addr)"
