@@ -73,6 +73,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ckptEvery   = fs.Int64("checkpoint-every", 4096, "checkpoint a journaled volume after this many journal records (0 = only at shutdown)")
 		sealEvery   = fs.Int64("seal-every", journal.DefaultSegmentSize, "seal a Merkle segment after this many journal records")
 		noVerify    = fs.Bool("no-verify-recover", false, "skip the seal-chain audit before recovering a journaled volume (corrupt journals will then recover as if merely torn)")
+		recWorkers  = fs.Int("recover-workers", 0, "verification workers per volume during journal recovery (0 = GOMAXPROCS, 1 = sequential); recovered state is identical at any count")
 		reqTimeout  = fs.Duration("request-timeout", 0, "per-request execution timeout once queued (0 = none); expiry closes a v1 connection, a pipelined one gets a timeout status")
 		maxWindow   = fs.Int("max-window", 0, "cap on the per-connection in-flight window granted to SMRD2 pipelined clients (0 = built-in default)")
 		role        = fs.String("role", "standalone", `replication role: "standalone", "primary" or "follower" (primary/follower require -journal-dir)`)
@@ -85,7 +86,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfgs, err := parseVolumes(*volumes, *journalDir, geom.Sector(*frontier), *queueDepth, *batch, *ckptEvery, *sealEvery, *noVerify)
+	cfgs, err := parseVolumes(*volumes, *journalDir, geom.Sector(*frontier), *queueDepth, *batch, *ckptEvery, *sealEvery, *noVerify, *recWorkers)
 	if err != nil {
 		return err
 	}
@@ -153,9 +154,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		for _, name := range mgr.Names() {
 			v, _ := mgr.Get(name)
-			if v.Recovery != nil {
-				fmt.Fprintf(out, "smrd: volume %s recovered: checkpoint=%v, %d journal records replayed, verified=%v (%d sealed segments)\n",
-					name, v.Recovery.FromCheckpoint, v.Recovery.Replayed, v.Recovery.Verified, v.Recovery.SealedSegments)
+			if r := v.Recovery; r != nil {
+				mbps := 0.0
+				if r.Elapsed > 0 {
+					mbps = float64(r.JournalBytes) / r.Elapsed.Seconds() / (1 << 20)
+				}
+				fmt.Fprintf(out, "smrd: volume %s recovered: checkpoint=%v, %d journal records replayed, verified=%v (%d sealed segments), %d bytes in %s (%.1f MB/s, workers=%d)\n",
+					name, r.FromCheckpoint, r.Replayed, r.Verified, r.SealedSegments,
+					r.JournalBytes, r.Elapsed.Round(time.Microsecond), mbps, r.Workers)
 			}
 		}
 		if prim != nil {
@@ -245,7 +251,7 @@ func splitAddrs(s string) []string {
 
 // parseVolumes expands the -volumes spec into volume configurations.
 // Grammar: spec := entry ("," entry)*; entry := name ("=" opt ("+" opt)*)?
-func parseVolumes(spec, journalDir string, frontier geom.Sector, queueDepth, batch int, ckptEvery, sealEvery int64, noVerify bool) ([]volume.Config, error) {
+func parseVolumes(spec, journalDir string, frontier geom.Sector, queueDepth, batch int, ckptEvery, sealEvery int64, noVerify bool, recoverWorkers int) ([]volume.Config, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, fmt.Errorf("empty -volumes spec")
 	}
@@ -285,6 +291,7 @@ func parseVolumes(spec, journalDir string, frontier geom.Sector, queueDepth, bat
 			cfg.CheckpointEvery = ckptEvery
 			cfg.SealEvery = sealEvery
 			cfg.SkipVerifyOnRecover = noVerify
+			cfg.RecoverWorkers = recoverWorkers
 		}
 		cfgs = append(cfgs, cfg)
 	}

@@ -135,6 +135,9 @@ func TestDaemonJournalRestartResumes(t *testing.T) {
 	if !strings.Contains(out2.String(), "volume dur recovered") {
 		t.Errorf("no recovery line after restart:\n%s", out2.String())
 	}
+	if !strings.Contains(out2.String(), "MB/s") || !strings.Contains(out2.String(), "workers=") {
+		t.Errorf("recovery line lacks duration/throughput detail:\n%s", out2.String())
+	}
 	c, err = server.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -156,11 +159,11 @@ func TestDaemonJournalRestartResumes(t *testing.T) {
 
 func TestParseVolumesRejectsBadSpecs(t *testing.T) {
 	for _, spec := range []string{"", "a=bogus", "=defrag", "a,,b"} {
-		if _, err := parseVolumes(spec, "", 1<<20, 0, 0, 0, 0, false); err == nil {
+		if _, err := parseVolumes(spec, "", 1<<20, 0, 0, 0, 0, false, 0); err == nil {
 			t.Errorf("parseVolumes(%q) accepted a bad spec", spec)
 		}
 	}
-	cfgs, err := parseVolumes("a, b=defrag+prefetch+cache", "/j", 1<<20, 4, 2, 100, 8, false)
+	cfgs, err := parseVolumes("a, b=defrag+prefetch+cache", "/j", 1<<20, 4, 2, 100, 8, false, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,5 +176,8 @@ func TestParseVolumesRejectsBadSpecs(t *testing.T) {
 	}
 	if b.JournalDir != "/j/b" || b.CheckpointEvery != 100 {
 		t.Errorf("journal wiring: dir=%q every=%d", b.JournalDir, b.CheckpointEvery)
+	}
+	if b.RecoverWorkers != 2 {
+		t.Errorf("recover workers not threaded through: %d, want 2", b.RecoverWorkers)
 	}
 }

@@ -43,6 +43,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		strict   = fs.Bool("strict", false, "treat torn tails (crash residue) as failures too")
 		jsonFlag = fs.Bool("json", false, "emit one JSON audit object per directory instead of tables")
+		workers  = fs.Int("j", 0, "segment verification workers (0 = GOMAXPROCS, 1 = sequential); the audit is identical at any count")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -64,7 +65,7 @@ func run(args []string, out io.Writer) error {
 	var failed bool
 	enc := json.NewEncoder(out)
 	for _, dir := range dirs {
-		audit, err := journal.VerifyDir(dir)
+		audit, err := journal.VerifyDirWorkers(dir, *workers)
 		if *jsonFlag {
 			type result struct {
 				*journal.Audit

@@ -2,6 +2,8 @@ package journal
 
 import (
 	"bytes"
+	"os"
+	"runtime"
 	"testing"
 
 	"smrseek/internal/geom"
@@ -21,6 +23,63 @@ func BenchmarkAppend(b *testing.B) {
 		if err := lg.Append(rec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// sealedBenchDir journals nRecs records in segments of seg and closes
+// the log, leaving a multi-segment sealed journal for audit benchmarks.
+func sealedBenchDir(b *testing.B, nRecs, seg int) string {
+	b.Helper()
+	dir := b.TempDir()
+	lg, err := Open(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := lg.SetSegmentSize(seg); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nRecs; i++ {
+		rec := Record{Kind: RecWrite, Lba: geom.Ext(int64(i)%100000*8, 8), Pba: int64(i) * 8}
+		if err := lg.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := lg.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// BenchmarkVerifyDir measures the full directory audit — every frame
+// CRC, every segment's Merkle root, the seal chain — sequentially and
+// with the parallel verification pipeline at GOMAXPROCS workers. The
+// two sub-benchmarks produce identical audits; the delta is the win the
+// worker pool buys on this machine.
+func BenchmarkVerifyDir(b *testing.B) {
+	dir := sealedBenchDir(b, 20000, 256)
+	fi, err := os.Stat(JournalPath(dir))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 1},
+		{"par", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.SetBytes(fi.Size())
+			for i := 0; i < b.N; i++ {
+				a, err := VerifyDirWorkers(dir, bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(a.Segments) != 20000/256 {
+					b.Fatalf("audited %d segments", len(a.Segments))
+				}
+			}
+		})
 	}
 }
 

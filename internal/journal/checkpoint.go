@@ -154,7 +154,13 @@ func readCheckpointFile(path string) (*Snapshot, error) {
 // signatures (torn tails, a half-written header under a valid
 // checkpoint, a stale pre-checkpoint generation), never about bytes the
 // seal chain had already committed.
-func LoadDir(dir string) (*Snapshot, Data, error) {
+func LoadDir(dir string) (*Snapshot, Data, error) { return LoadDirWorkers(dir, 0) }
+
+// LoadDirWorkers is LoadDir with an explicit verification worker count
+// for the journal scan (see ScanBytesWorkers): workers <= 0 uses
+// DefaultRecoveryWorkers, 1 scans inline. The result is bit-identical
+// at any worker count.
+func LoadDirWorkers(dir string, workers int) (*Snapshot, Data, error) {
 	snap, err := readCheckpointFile(CheckpointPath(dir))
 	if err != nil {
 		return nil, Data{}, err
@@ -176,7 +182,7 @@ func LoadDir(dir string) (*Snapshot, Data, error) {
 	if gen, _, _, herr := unmarshalHeader(raw); herr == nil && snap != nil && gen <= snap.Generation {
 		return snap, Data{Generation: gen}, nil
 	}
-	d, err := ReadJournal(newByteReader(raw))
+	d, err := ScanBytesWorkers(raw, workers)
 	if err != nil {
 		var ce *CorruptError
 		if errors.As(err, &ce) {

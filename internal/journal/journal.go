@@ -175,7 +175,7 @@ type Seal struct {
 	// First is the 1-based sequence of the first record covered.
 	First int64 `json:"first"`
 	// Count is the number of records the seal covers (> 0).
-	Count int `json:"count"`
+	Count int  `json:"count"`
 	Root  Hash `json:"root"`
 	Chain Hash `json:"chain"`
 	// Offset is the byte offset of the seal frame in the journal file.
@@ -491,7 +491,10 @@ func Open(dir string, initFrontier geom.Sector) (*Log, error) {
 	l := &Log{dir: dir, segSize: DefaultSegmentSize}
 	path := JournalPath(dir)
 	if data, err := os.ReadFile(path); err == nil {
-		d, err := scanJournal(data)
+		// The parallel scan hands back the leaf hashes it already computed
+		// while verifying, so Prove's Merkle trees build on the audit
+		// core's work instead of re-marshalling every record.
+		d, leaves, err := scanJournalParallel(data, 0, true)
 		if err != nil {
 			return nil, err
 		}
@@ -505,11 +508,7 @@ func Open(dir string, initFrontier geom.Sector) (*Log, error) {
 		l.chain = d.ChainHead()
 		l.seals = d.Seals
 		l.sealed = d.Sealed
-		l.leaves = make([]Hash, 0, len(d.Records))
-		for _, rec := range d.Records {
-			frame := MarshalRecord(rec)
-			l.leaves = append(l.leaves, LeafHash(frame[4:4+payloadSize]))
-		}
+		l.leaves = leaves
 		l.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,122 @@
+package journal
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// chunkFixture builds a sealed journal and returns its bytes plus the
+// seal-boundary offsets (absolute, just past each seal frame).
+func chunkFixture(t *testing.T, nSeals int) (raw []byte, bounds []int64) {
+	t.Helper()
+	dir := t.TempDir()
+	l := buildSealedPair(t, dir, nSeals)
+	seals := l.Seals()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(JournalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seals {
+		bounds = append(bounds, s.Offset+sealFrameSize)
+	}
+	return raw, bounds
+}
+
+// TestVerifyChunkSegmentsIncremental feeds a sealed journal to the
+// incremental verifier one seal-bounded chunk at a time: each chunk
+// must verify exactly once against the cached frontier, and the final
+// state must agree with a full scan.
+func TestVerifyChunkSegmentsIncremental(t *testing.T) {
+	raw, bounds := chunkFixture(t, 4)
+	d, err := scanJournal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _, anchor, err := unmarshalHeader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ChunkState{Gen: gen, Offset: HeaderLen, Chain: anchor}
+	prev := HeaderLen
+	for i, b := range bounds {
+		st, err = VerifyChunkSegments(raw[prev:b], st)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if st.Offset != b || st.Seals != i+1 {
+			t.Fatalf("chunk %d: frontier (off=%d seals=%d), want (off=%d seals=%d)",
+				i, st.Offset, st.Seals, b, i+1)
+		}
+		prev = b
+	}
+	if st.Chain != d.ChainHead() || st.Records != d.Sealed {
+		t.Fatalf("final frontier chain=%s records=%d, scan says chain=%s records=%d",
+			st.Chain.Short(), st.Records, d.ChainHead().Short(), d.Sealed)
+	}
+	// Multi-segment chunks work too: the whole body in one go.
+	st2, err := VerifyChunkSegments(raw[HeaderLen:], ChunkState{Gen: gen, Offset: HeaderLen, Chain: anchor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 != st {
+		t.Fatalf("one-chunk frontier %+v differs from incremental %+v", st2, st)
+	}
+}
+
+// TestVerifyChunkSegmentsRejects drives every rejection path and
+// asserts the returned state is the unchanged input on each.
+func TestVerifyChunkSegmentsRejects(t *testing.T) {
+	raw, bounds := chunkFixture(t, 3)
+	gen, _, anchor, err := unmarshalHeader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ChunkState{Gen: gen, Offset: HeaderLen, Chain: anchor}
+	first := raw[HeaderLen:bounds[0]]
+
+	cases := []struct {
+		name string
+		data []byte
+		st   ChunkState
+		want string
+	}{
+		{"empty", nil, base, "empty segment chunk"},
+		{"pre-header state", first, ChunkState{Gen: gen}, "precedes the header"},
+		{"torn mid-frame", first[:len(first)-2], base, "partial frame"},
+		{"unsealed records only", first[:frameSize], base, "unsealed"},
+		{"flipped record byte", mutate(first, 10, 0xff), base, "checksum mismatch"},
+		{"flipped seal root", mutate(first, len(first)-20, 0xff), base, "checksum mismatch"},
+		{"skipped segment", raw[bounds[0]:bounds[1]], base, "seal index"},
+		{"replayed segment", first, ChunkState{Gen: gen, Offset: bounds[0], Chain: anchor, Seals: 1}, "seal index"},
+	}
+	for _, tc := range cases {
+		got, err := VerifyChunkSegments(tc.data, tc.st)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err=%v, want substring %q", tc.name, err, tc.want)
+		}
+		if got != tc.st {
+			t.Errorf("%s: state advanced to %+v on failure, want unchanged %+v", tc.name, got, tc.st)
+		}
+	}
+}
+
+// TestVerifyChunkSegmentsChainBinding: a chunk whose seals are
+// internally consistent but built on a different chain head must be
+// rejected — the frontier's chain is what binds chunks to the history
+// already verified.
+func TestVerifyChunkSegmentsChainBinding(t *testing.T) {
+	raw, bounds := chunkFixture(t, 2)
+	gen, _, _, err := unmarshalHeader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := ChunkState{Gen: gen, Offset: HeaderLen, Chain: LeafHash([]byte("impostor"))}
+	if _, err := VerifyChunkSegments(raw[HeaderLen:bounds[0]], wrong); err == nil ||
+		!strings.Contains(err.Error(), "chain") {
+		t.Fatalf("chunk verified against a foreign chain head: %v", err)
+	}
+}

@@ -98,7 +98,17 @@ type Audit struct {
 // ErrCorrupt) for damage inside the sealed history, and a nil error for
 // a clean pair — including one with a torn tail or a stale journal,
 // which the Audit reports but which are crash signatures, not damage.
-func VerifyDir(dir string) (*Audit, error) {
+// Segment verification runs on DefaultRecoveryWorkers workers; use
+// VerifyDirWorkers to pick the count.
+func VerifyDir(dir string) (*Audit, error) { return VerifyDirWorkers(dir, 0) }
+
+// VerifyDirWorkers is VerifyDir with an explicit verification worker
+// count: sealed segments are CRC-checked and Merkle-verified on a
+// bounded pool while the seal chain and checkpoint linkage are checked
+// in order, with the Audit and error bit-identical to the sequential
+// scan at any worker count. workers <= 0 uses DefaultRecoveryWorkers, 1
+// verifies inline on the calling goroutine.
+func VerifyDirWorkers(dir string, workers int) (*Audit, error) {
 	a := &Audit{Dir: dir}
 
 	snap, err := readCheckpointFile(CheckpointPath(dir))
@@ -170,7 +180,7 @@ func VerifyDir(dir string) (*Audit, error) {
 				anchor.Short(), snap.Chain.Short())}
 	}
 
-	d, err := scanJournal(raw)
+	d, err := ScanBytesWorkers(raw, workers)
 	if err != nil {
 		return a, err
 	}

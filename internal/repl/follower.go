@@ -48,16 +48,16 @@ type FollowerConfig struct {
 type Follower struct {
 	cfg FollowerConfig
 
-	mu       sync.Mutex
-	pos      map[string]server.ReplPosition // verified, applied positions
-	epoch    uint64                         // highest epoch seen from the source
-	rejects  int64                          // chunks rejected by verification
-	prim      *Primary        // non-nil once promoted
-	srv       *server.Server  // for SetManager at promotion
-	mgr       *volume.Manager // owned after promotion
-	promoting bool            // a Promote is in flight (mu drops to quiesce)
-	promoDone chan struct{}   // closed when that Promote finishes
-	promoErr  error           // sticky promotion failure
+	mu        sync.Mutex
+	pos       map[string]server.ReplPosition // verified, applied positions
+	epoch     uint64                         // highest epoch seen from the source
+	rejects   int64                          // chunks rejected by verification
+	prim      *Primary                       // non-nil once promoted
+	srv       *server.Server                 // for SetManager at promotion
+	mgr       *volume.Manager                // owned after promotion
+	promoting bool                           // a Promote is in flight (mu drops to quiesce)
+	promoDone chan struct{}                  // closed when that Promote finishes
+	promoErr  error                          // sticky promotion failure
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -275,9 +275,34 @@ func (f *Follower) Promote() (server.RoleInfo, error) {
 	return prim.Role(), nil
 }
 
-// pull is one volume's replication loop: scan the local journal state,
-// long-poll the source for the next chunk past it, verify, persist,
-// ack, repeat.
+// chunkPos is a verified frontier's wire position.
+func chunkPos(st journal.ChunkState) server.ReplPosition {
+	return server.ReplPosition{Gen: st.Gen, Bytes: st.Offset, Records: st.Records}
+}
+
+// verifyReq hands one shipped segments chunk, plus the verified frontier
+// it must continue, to the verifier goroutine.
+type verifyReq struct {
+	chunk journal.ShipChunk
+	st    journal.ChunkState
+}
+
+// verifyRes is the verifier's outcome: the advanced frontier, or the
+// unchanged one with the rejection reason.
+type verifyRes struct {
+	st  journal.ChunkState
+	err error
+}
+
+// pull is one volume's replication loop: scan the local journal state
+// once, then long-poll the source for the next chunk past the frontier.
+// Segment chunks are handed to a per-volume verifier goroutine that
+// verifies, persists and acks them while this goroutine is already
+// long-polling for the next chunk at the optimistic position past the
+// in-flight one — shipping and verification overlap instead of taking
+// turns. At most one chunk is in flight; its result is joined before
+// the next chunk is processed, so chunks still verify and apply
+// strictly in order.
 func (f *Follower) pull(name, dir string) {
 	defer f.wg.Done()
 	var c *server.Client
@@ -286,11 +311,34 @@ func (f *Follower) pull(name, dir string) {
 			c.Close()
 		}
 	}()
+
+	reqs := make(chan verifyReq)
+	ress := make(chan verifyRes, 1) // cap 1: the verifier never blocks sending
+	f.wg.Add(1)
+	go f.verifier(name, dir, reqs, ress)
+	defer close(reqs)
+
 	var (
-		raw []byte // verified local journal bytes (sealed prefix)
-		pos server.ReplPosition
+		st      journal.ChunkState // verified frontier
+		pending *verifyReq         // chunk the verifier is working on
+		scanned bool
 	)
-	scanned := false
+	// join collects the in-flight chunk's outcome, advancing the frontier
+	// or reporting the rejection.
+	join := func() bool {
+		if pending == nil {
+			return true
+		}
+		res := <-ress
+		pending = nil
+		if res.err != nil {
+			f.reject(name, res.err)
+			return false
+		}
+		st = res.st
+		return true
+	}
+
 	for f.ctx.Err() == nil {
 		if c == nil {
 			var err error
@@ -305,15 +353,24 @@ func (f *Follower) pull(name, dir string) {
 		}
 		if !scanned {
 			var err error
-			pos, raw, err = f.scanLocal(dir)
+			st, err = f.scanLocal(dir)
 			if err != nil {
 				f.cfg.Logf("repl: %s: local journal state unusable: %v", name, err)
 				return
 			}
-			f.setPos(name, pos)
+			f.setPos(name, chunkPos(st))
 			scanned = true
 		}
-		epoch, chunk, err := c.Tail(name, pos.Gen, pos.Bytes)
+		// Ask at the optimistic position: past the in-flight chunk, so the
+		// source prepares the next one while this one verifies. If the
+		// in-flight chunk is then rejected, whatever this returns is
+		// speculation on top of bad bytes and is dropped below.
+		askGen, askOff := st.Gen, st.Offset
+		if pending != nil {
+			askGen = pending.chunk.Gen
+			askOff = pending.chunk.Off + int64(len(pending.chunk.Data))
+		}
+		epoch, chunk, err := c.Tail(name, askGen, askOff)
 		if err != nil {
 			var se *server.StatusError
 			if errors.As(err, &se) {
@@ -329,153 +386,193 @@ func (f *Follower) pull(name, dir string) {
 			continue
 		}
 		f.observeEpoch(epoch)
+		if !join() {
+			continue
+		}
 		switch chunk.Kind {
 		case journal.ShipNone:
 			// The long poll expired with nothing new; ask again.
 		case journal.ShipCheckpoint:
-			newPos, err := f.applyCheckpoint(dir, chunk)
+			newSt, err := f.applyCheckpoint(dir, chunk)
 			if err != nil {
 				f.reject(name, err)
 				continue
 			}
-			raw, pos = nil, newPos
-			f.setPos(name, pos)
-			_ = c.Ack(name, pos.Gen, pos.Bytes)
+			st = newSt
+			f.setPos(name, chunkPos(st))
+			_ = c.Ack(name, st.Gen, st.Offset)
 		case journal.ShipSegments:
-			newRaw, newPos, err := f.applySegments(dir, raw, pos, chunk)
-			if err != nil {
-				f.reject(name, err)
-				continue
+			req := verifyReq{chunk: chunk, st: st}
+			select {
+			case reqs <- req:
+				pending = &req
+			case <-f.ctx.Done():
 			}
-			raw, pos = newRaw, newPos
-			f.setPos(name, pos)
-			_ = c.Ack(name, pos.Gen, pos.Bytes)
 		default:
 			f.reject(name, fmt.Errorf("unknown ship kind %d", chunk.Kind))
 		}
 	}
 }
 
+// verifier is a pull loop's verification stage: it verifies, persists
+// and acks segment chunks off the pull goroutine. Acks go out on the
+// verifier's own connection — the puller's is busy inside the next
+// long poll, and delaying the ack until that poll returned would stall
+// the primary's semi-sync write gate for up to its TailWait.
+func (f *Follower) verifier(name, dir string, reqs <-chan verifyReq, ress chan<- verifyRes) {
+	defer f.wg.Done()
+	var ack *server.Client
+	defer func() {
+		if ack != nil {
+			ack.Close()
+		}
+	}()
+	for req := range reqs {
+		st, err := f.applySegments(dir, req.st, req.chunk)
+		if err == nil {
+			f.setPos(name, chunkPos(st))
+			if ack == nil {
+				if c, derr := server.DialContext(f.ctx, f.cfg.Source); derr == nil {
+					c.SetReconnect(server.ReconnectPolicy{})
+					ack = c
+				}
+			}
+			if ack != nil {
+				if aerr := ack.Ack(name, st.Gen, st.Offset); aerr != nil {
+					ack.Close()
+					ack = nil
+				}
+			}
+		}
+		ress <- verifyRes{st: st, err: err}
+	}
+}
+
 // scanLocal reads the volume's local journal directory and returns the
-// verified position to resume pulling from, truncating crash residue
-// (a torn tail past the last seal) first.
-func (f *Follower) scanLocal(dir string) (server.ReplPosition, []byte, error) {
+// verified frontier to resume pulling from, truncating crash residue
+// (a torn tail past the last seal) first. This is the one full-prefix
+// scan of the process lifetime — it runs on the parallel verification
+// pool — and every later chunk verifies incrementally against the
+// frontier it establishes.
+func (f *Follower) scanLocal(dir string) (journal.ChunkState, error) {
 	snap, err := journal.ReadCheckpointFile(journal.CheckpointPath(dir))
 	if err != nil {
-		return server.ReplPosition{}, nil, err
+		return journal.ChunkState{}, err
 	}
 	raw, err := os.ReadFile(journal.JournalPath(dir))
 	if os.IsNotExist(err) {
 		if snap != nil {
-			return server.ReplPosition{Gen: snap.Generation + 1}, nil, nil
+			return journal.ChunkState{Gen: snap.Generation + 1}, nil
 		}
-		return server.ReplPosition{}, nil, nil
+		return journal.ChunkState{}, nil
 	}
 	if err != nil {
-		return server.ReplPosition{}, nil, err
+		return journal.ChunkState{}, err
 	}
-	d, err := journal.ScanBytes(raw)
+	d, err := journal.ScanBytesWorkers(raw, 0)
 	if err != nil {
-		return server.ReplPosition{}, nil, err
+		return journal.ChunkState{}, err
 	}
 	if snap != nil && d.Generation <= snap.Generation {
 		// Stale pre-checkpoint generation (crash between checkpoint
 		// install and journal removal): subsumed, discard it.
 		if err := os.Remove(journal.JournalPath(dir)); err != nil {
-			return server.ReplPosition{}, nil, err
+			return journal.ChunkState{}, err
 		}
-		return server.ReplPosition{Gen: snap.Generation + 1}, nil, nil
+		return journal.ChunkState{Gen: snap.Generation + 1}, nil
 	}
 	end := journal.SealedEndOf(d)
 	if end < int64(len(raw)) {
 		// A crash mid-append left bytes past the last verified seal; we
 		// only ack sealed bytes, so drop them and re-pull.
 		if err := os.Truncate(journal.JournalPath(dir), end); err != nil {
-			return server.ReplPosition{}, nil, err
+			return journal.ChunkState{}, err
 		}
-		raw = raw[:end]
 	}
-	return server.ReplPosition{Gen: d.Generation, Bytes: end, Records: d.Sealed}, raw, nil
+	return journal.ChunkState{
+		Gen:     d.Generation,
+		Offset:  end,
+		Chain:   d.ChainHead(),
+		Seals:   len(d.Seals),
+		Records: d.Sealed,
+	}, nil
 }
 
 // applyCheckpoint verifies and durably installs a shipped checkpoint,
-// discarding the subsumed local journal, and returns the position to
-// resume at: generation ckpt+1, offset 0.
-func (f *Follower) applyCheckpoint(dir string, chunk journal.ShipChunk) (server.ReplPosition, error) {
+// discarding the subsumed local journal, and returns the frontier to
+// resume at: generation ckpt+1, offset 0 (expecting a fresh chunk).
+func (f *Follower) applyCheckpoint(dir string, chunk journal.ShipChunk) (journal.ChunkState, error) {
 	snap, err := journal.ReadCheckpoint(bytes.NewReader(chunk.Data))
 	if err != nil {
-		return server.ReplPosition{}, fmt.Errorf("shipped checkpoint does not verify: %w", err)
+		return journal.ChunkState{}, fmt.Errorf("shipped checkpoint does not verify: %w", err)
 	}
 	if snap.Generation != chunk.Gen {
-		return server.ReplPosition{}, fmt.Errorf("shipped checkpoint generation %d, chunk says %d", snap.Generation, chunk.Gen)
+		return journal.ChunkState{}, fmt.Errorf("shipped checkpoint generation %d, chunk says %d", snap.Generation, chunk.Gen)
 	}
 	if err := writeFileAtomic(journal.CheckpointPath(dir), chunk.Data); err != nil {
-		return server.ReplPosition{}, err
+		return journal.ChunkState{}, err
 	}
 	if err := os.Remove(journal.JournalPath(dir)); err != nil && !os.IsNotExist(err) {
-		return server.ReplPosition{}, err
+		return journal.ChunkState{}, err
 	}
-	return server.ReplPosition{Gen: snap.Generation + 1}, nil
+	return journal.ChunkState{Gen: snap.Generation + 1}, nil
 }
 
-// applySegments verifies a shipped byte range as the continuation of
-// the local sealed prefix and persists it. The whole resulting prefix
-// is re-verified — every frame CRC, every Merkle root, the seal chain,
-// and the linkage to the local checkpoint — before any byte reaches
-// disk; a chunk that fails is rejected without side effects.
-func (f *Follower) applySegments(dir string, raw []byte, pos server.ReplPosition, chunk journal.ShipChunk) ([]byte, server.ReplPosition, error) {
-	var candidate []byte
-	fresh := chunk.Off == 0
-	if fresh {
-		candidate = chunk.Data
-	} else {
-		if chunk.Gen != pos.Gen || chunk.Off != pos.Bytes {
-			return nil, pos, fmt.Errorf("chunk at (gen %d, off %d), local position (gen %d, off %d)",
-				chunk.Gen, chunk.Off, pos.Gen, pos.Bytes)
+// applySegments verifies a shipped byte range as the exact continuation
+// of the verified frontier st and persists it, returning the advanced
+// frontier. Only the chunk's own bytes are verified — frame CRCs,
+// segment Merkle roots, and chain links extending st.Chain — so each
+// sealed byte is verified exactly once per process lifetime instead of
+// re-verifying the whole prefix on every pull. A fresh chunk (Off == 0)
+// carries the generation header, which is checked against the local
+// checkpoint (anchor and generation succession) before its segments
+// are verified from the header's anchor. A chunk that fails is rejected
+// without side effects.
+func (f *Follower) applySegments(dir string, st journal.ChunkState, chunk journal.ShipChunk) (journal.ChunkState, error) {
+	if chunk.Off == 0 {
+		gen, _, anchor, err := journal.ParseHeader(chunk.Data)
+		if err != nil {
+			return st, fmt.Errorf("shipped prefix does not verify: %w", err)
 		}
-		candidate = make([]byte, 0, int64(len(chunk.Data))+pos.Bytes)
-		candidate = append(candidate, raw[:pos.Bytes]...)
-		candidate = append(candidate, chunk.Data...)
+		if gen != chunk.Gen {
+			return st, fmt.Errorf("shipped header generation %d, chunk says %d", gen, chunk.Gen)
+		}
+		snap, err := journal.ReadCheckpointFile(journal.CheckpointPath(dir))
+		if err != nil {
+			return st, err
+		}
+		switch {
+		case snap == nil && !anchor.IsZero():
+			return st, fmt.Errorf("shipped journal anchors at %s with no local checkpoint", anchor.Short())
+		case snap != nil && gen != snap.Generation+1:
+			return st, fmt.Errorf("shipped generation %d does not succeed local checkpoint %d",
+				gen, snap.Generation)
+		case snap != nil && anchor != snap.Chain:
+			return st, fmt.Errorf("shipped anchor %s does not match local checkpoint chain %s",
+				anchor.Short(), snap.Chain.Short())
+		}
+		init := journal.ChunkState{Gen: gen, Offset: journal.HeaderLen, Chain: anchor}
+		newSt, err := journal.VerifyChunkSegments(chunk.Data[journal.HeaderLen:], init)
+		if err != nil {
+			return st, fmt.Errorf("shipped prefix does not verify: %w", err)
+		}
+		if err := writeFileAtomic(journal.JournalPath(dir), chunk.Data); err != nil {
+			return st, err
+		}
+		return newSt, nil
 	}
-	d, err := journal.ScanBytes(candidate)
+	if chunk.Gen != st.Gen || chunk.Off != st.Offset {
+		return st, fmt.Errorf("chunk at (gen %d, off %d), local position (gen %d, off %d)",
+			chunk.Gen, chunk.Off, st.Gen, st.Offset)
+	}
+	newSt, err := journal.VerifyChunkSegments(chunk.Data, st)
 	if err != nil {
-		return nil, pos, fmt.Errorf("shipped prefix does not verify: %w", err)
+		return st, fmt.Errorf("shipped chunk does not verify: %w", err)
 	}
-	if d.Torn || journal.SealedEndOf(d) != int64(len(candidate)) {
-		return nil, pos, fmt.Errorf("shipped chunk does not end on a seal boundary")
+	if err := appendAt(journal.JournalPath(dir), chunk.Off, chunk.Data); err != nil {
+		return st, err
 	}
-	if d.Generation != chunk.Gen {
-		return nil, pos, fmt.Errorf("shipped header generation %d, chunk says %d", d.Generation, chunk.Gen)
-	}
-	snap, err := journal.ReadCheckpointFile(journal.CheckpointPath(dir))
-	if err != nil {
-		return nil, pos, err
-	}
-	switch {
-	case snap == nil && !d.Anchor.IsZero():
-		return nil, pos, fmt.Errorf("shipped journal anchors at %s with no local checkpoint", d.Anchor.Short())
-	case snap != nil && d.Generation != snap.Generation+1:
-		return nil, pos, fmt.Errorf("shipped generation %d does not succeed local checkpoint %d",
-			d.Generation, snap.Generation)
-	case snap != nil && d.Anchor != snap.Chain:
-		return nil, pos, fmt.Errorf("shipped anchor %s does not match local checkpoint chain %s",
-			d.Anchor.Short(), snap.Chain.Short())
-	}
-
-	if fresh {
-		if err := writeFileAtomic(journal.JournalPath(dir), candidate); err != nil {
-			return nil, pos, err
-		}
-	} else {
-		if err := appendAt(journal.JournalPath(dir), chunk.Off, chunk.Data); err != nil {
-			return nil, pos, err
-		}
-	}
-	return candidate, server.ReplPosition{
-		Gen:     d.Generation,
-		Bytes:   int64(len(candidate)),
-		Records: d.Sealed,
-	}, nil
+	return newSt, nil
 }
 
 // appendAt writes data at byte offset off of path and fsyncs.

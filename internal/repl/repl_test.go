@@ -183,12 +183,9 @@ func TestShipApplyRoundTrip(t *testing.T) {
 		t.Fatalf("ship kind %s, want segments", journal.ShipKindName(chunk.Kind))
 	}
 	f := &Follower{cfg: FollowerConfig{Logf: t.Logf}}
-	got, pos, err := f.applySegments(dst, nil, server.ReplPosition{}, chunk)
+	st, err := f.applySegments(dst, journal.ChunkState{}, chunk)
 	if err != nil {
 		t.Fatal(err)
-	}
-	if !bytes.Equal(got, raw) {
-		t.Fatalf("applied journal differs from source (%d vs %d bytes)", len(got), len(raw))
 	}
 	onDisk, err := os.ReadFile(journal.JournalPath(dst))
 	if err != nil {
@@ -197,8 +194,8 @@ func TestShipApplyRoundTrip(t *testing.T) {
 	if !bytes.Equal(onDisk, raw) {
 		t.Fatal("persisted replica differs from source journal")
 	}
-	if pos.Gen != chunk.Gen || pos.Bytes != int64(len(raw)) {
-		t.Fatalf("applied position (%d,%d), want (%d,%d)", pos.Gen, pos.Bytes, chunk.Gen, len(raw))
+	if st.Gen != chunk.Gen || st.Offset != int64(len(raw)) {
+		t.Fatalf("applied position (%d,%d), want (%d,%d)", st.Gen, st.Offset, chunk.Gen, len(raw))
 	}
 	if _, err := journal.VerifyDir(dst); err != nil {
 		t.Fatalf("replica does not verify: %v", err)
@@ -221,7 +218,7 @@ func TestApplySegmentsRejectsCorrupt(t *testing.T) {
 		data[off] ^= 0x01
 		bad := chunk
 		bad.Data = data
-		if _, _, err := f.applySegments(dst, nil, server.ReplPosition{}, bad); err == nil {
+		if _, err := f.applySegments(dst, journal.ChunkState{}, bad); err == nil {
 			t.Fatalf("corrupt byte at offset %d applied cleanly", off)
 		}
 		if _, err := os.Stat(journal.JournalPath(dst)); !os.IsNotExist(err) {
@@ -241,7 +238,7 @@ func TestApplySegmentsRejectsMisaligned(t *testing.T) {
 	}
 	chunk.Off = 40 // pretends to continue a prefix we don't have
 	f := &Follower{cfg: FollowerConfig{Logf: func(string, ...any) {}}}
-	if _, _, err := f.applySegments(t.TempDir(), nil, server.ReplPosition{}, chunk); err == nil {
+	if _, err := f.applySegments(t.TempDir(), journal.ChunkState{}, chunk); err == nil {
 		t.Fatal("misaligned chunk applied cleanly")
 	}
 }
@@ -288,12 +285,12 @@ func TestCheckpointShipRoundTrip(t *testing.T) {
 		t.Fatalf("first catch-up chunk kind %s, want checkpoint", journal.ShipKindName(chunk.Kind))
 	}
 	f := &Follower{cfg: FollowerConfig{Logf: t.Logf}}
-	pos, err := f.applyCheckpoint(dst, chunk)
+	st, err := f.applyCheckpoint(dst, chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pos.Gen != chunk.Gen+1 || pos.Bytes != 0 {
-		t.Fatalf("post-checkpoint position (%d,%d), want (%d,0)", pos.Gen, pos.Bytes, chunk.Gen+1)
+	if st.Gen != chunk.Gen+1 || st.Offset != 0 {
+		t.Fatalf("post-checkpoint position (%d,%d), want (%d,0)", st.Gen, st.Offset, chunk.Gen+1)
 	}
 
 	// Corrupted checkpoint ships must be rejected too.
@@ -305,14 +302,14 @@ func TestCheckpointShipRoundTrip(t *testing.T) {
 	}
 
 	// Then the live generation's segments, anchored in that checkpoint.
-	chunk, err = journal.ShipFrom(src, pos.Gen, pos.Bytes, 1<<20)
+	chunk, err = journal.ShipFrom(src, st.Gen, st.Offset, 1<<20)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if chunk.Kind != journal.ShipSegments {
 		t.Fatalf("second catch-up chunk kind %s, want segments", journal.ShipKindName(chunk.Kind))
 	}
-	if _, pos, err = f.applySegments(dst, nil, pos, chunk); err != nil {
+	if st, err = f.applySegments(dst, st, chunk); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := journal.VerifyDir(dst); err != nil {
@@ -323,8 +320,8 @@ func TestCheckpointShipRoundTrip(t *testing.T) {
 	if !bytes.Equal(srcRaw, dstRaw) {
 		t.Fatal("caught-up journal differs from source")
 	}
-	if pos.Bytes != int64(len(dstRaw)) {
-		t.Fatalf("position %d bytes, file has %d", pos.Bytes, len(dstRaw))
+	if st.Offset != int64(len(dstRaw)) {
+		t.Fatalf("position %d bytes, file has %d", st.Offset, len(dstRaw))
 	}
 }
 
@@ -345,12 +342,12 @@ func TestScanLocalTruncatesTornTail(t *testing.T) {
 	fd.Close()
 
 	f := &Follower{cfg: FollowerConfig{Logf: t.Logf}, pos: map[string]server.ReplPosition{}}
-	pos, got, err := f.scanLocal(dir)
+	st, err := f.scanLocal(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pos.Bytes != int64(len(raw)) || !bytes.Equal(got, raw) {
-		t.Fatalf("scan returned %d bytes, want the %d-byte sealed prefix", pos.Bytes, len(raw))
+	if st.Offset != int64(len(raw)) {
+		t.Fatalf("scan frontier at %d bytes, want the %d-byte sealed prefix", st.Offset, len(raw))
 	}
 	onDisk, err := os.ReadFile(path)
 	if err != nil {
@@ -400,12 +397,12 @@ func TestScanLocalDiscardsStaleGeneration(t *testing.T) {
 	}
 
 	f := &Follower{cfg: FollowerConfig{Logf: t.Logf}, pos: map[string]server.ReplPosition{}}
-	pos, raw, err := f.scanLocal(dir)
+	st, err := f.scanLocal(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pos.Gen != snapGen+1 || pos.Bytes != 0 || raw != nil {
-		t.Fatalf("scan over stale generation resumed at (%d,%d), want (%d,0) with no journal", pos.Gen, pos.Bytes, snapGen+1)
+	if st.Gen != snapGen+1 || st.Offset != 0 {
+		t.Fatalf("scan over stale generation resumed at (%d,%d), want (%d,0) with no journal", st.Gen, st.Offset, snapGen+1)
 	}
 	if _, err := os.Stat(journal.JournalPath(dir)); !os.IsNotExist(err) {
 		t.Fatal("stale journal generation survived the scan")

@@ -1,0 +1,151 @@
+package stl
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"smrseek/internal/geom"
+	"smrseek/internal/journal"
+)
+
+// buildSealedDir journals n writes with small segments so the journal
+// carries several sealed segments, then closes the log. Returns the
+// live state for comparison.
+func buildSealedDir(t *testing.T, dir string, n int) *LS {
+	t.Helper()
+	log, err := journal.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.SetSegmentSize(2); err != nil {
+		t.Fatal(err)
+	}
+	live := NewLS(0)
+	for i := 0; i < n; i++ {
+		journaledWrite(t, live, log, geom.Ext(int64(i)*8, 8))
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return live
+}
+
+// recoverOutcome captures everything RecoverDirWith returns, normalised
+// for cross-worker-count comparison: Elapsed is wall clock and Workers
+// is the knob under test, so both are zeroed before comparing.
+type recoverOutcome struct {
+	frontier geom.Sector
+	written  geom.Sector
+	st       ReplayStats
+	err      error
+}
+
+func recoverAt(t *testing.T, dir string, workers int) (recoverOutcome, *LS) {
+	t.Helper()
+	l, st, err := RecoverDirWith(dir, RecoverOptions{VerifyOnRecover: true, Workers: workers})
+	st.Elapsed = 0
+	st.Workers = 0
+	o := recoverOutcome{st: st, err: err}
+	if l != nil {
+		o.frontier = l.Frontier()
+		o.written = l.LogSectors()
+	}
+	return o, l
+}
+
+// TestRecoverDirWithWorkersDifferential runs verified recovery at every
+// worker count over clean, torn-crash, and corrupt journal directories
+// and asserts the outcome is bit-identical to sequential recovery:
+// same extent map, same ReplayStats (wall clock and worker count
+// zeroed), same error classification.
+func TestRecoverDirWithWorkersDifferential(t *testing.T) {
+	workerMatrix := []int{1, 2, 8}
+
+	dirs := map[string]string{}
+
+	// Clean sealed journal, checkpoint plus sealed tail segments.
+	clean := t.TempDir()
+	buildSealedDir(t, clean, 10)
+	dirs["clean"] = clean
+
+	// Torn crash mid-append: CrashAfter leaves a half-written frame.
+	torn := t.TempDir()
+	{
+		log, err := journal.Open(torn, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.SetSegmentSize(2); err != nil {
+			t.Fatal(err)
+		}
+		log.CrashAfter(9, 13)
+		live := NewLS(500)
+		for i := 0; i < 20; i++ {
+			if !journaledWrite(t, live, log, geom.Ext(int64(i)*8, 8)) {
+				break
+			}
+		}
+		log.Close()
+		dirs["torn"] = torn
+	}
+
+	// Corrupt sealed region: flip a byte inside the first record frame.
+	corrupt := t.TempDir()
+	{
+		buildSealedDir(t, corrupt, 10)
+		raw, err := os.ReadFile(journal.JournalPath(corrupt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[70] ^= 0x01
+		if err := os.WriteFile(journal.JournalPath(corrupt), raw, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		dirs["corrupt"] = corrupt
+	}
+
+	for name, dir := range dirs {
+		want, wantL := recoverAt(t, dir, 1)
+		for _, w := range workerMatrix {
+			got, gotL := recoverAt(t, dir, w)
+			if got.st != want.st {
+				t.Errorf("%s workers=%d: stats %+v, sequential %+v", name, w, got.st, want.st)
+			}
+			if got.frontier != want.frontier || got.written != want.written {
+				t.Errorf("%s workers=%d: frontier/written (%d,%d), sequential (%d,%d)",
+					name, w, got.frontier, got.written, want.frontier, want.written)
+			}
+			if (got.err == nil) != (want.err == nil) {
+				t.Errorf("%s workers=%d: err %v, sequential %v", name, w, got.err, want.err)
+			} else if got.err != nil {
+				var gc, wc *journal.CorruptError
+				if errors.As(got.err, &gc) != errors.As(want.err, &wc) || (gc != nil && *gc != *wc) {
+					t.Errorf("%s workers=%d: corrupt error %v, sequential %v", name, w, got.err, want.err)
+				}
+			}
+			if gotL != nil && wantL != nil {
+				if diff := wantL.Map().Diff(gotL.Map()); diff != "" {
+					t.Errorf("%s workers=%d: map diverges: %s", name, w, diff)
+				}
+			}
+		}
+	}
+
+	// Sanity on the matrix itself: the corrupt dir must actually fail
+	// and the torn dir must actually report a torn tail, or the
+	// differential is vacuous.
+	if _, st, err := RecoverDirWith(dirs["torn"], RecoverOptions{VerifyOnRecover: true}); err != nil || !st.TornTail {
+		t.Errorf("torn fixture: %+v, %v, want TornTail", st, err)
+	}
+	if _, _, err := RecoverDirWith(dirs["corrupt"], RecoverOptions{VerifyOnRecover: true}); !errors.Is(err, journal.ErrCorrupt) {
+		t.Errorf("corrupt fixture: %v, want ErrCorrupt", err)
+	}
+
+	// Stats the daemon logs are populated on success.
+	if _, st, err := RecoverDirWith(dirs["clean"], RecoverOptions{VerifyOnRecover: true, Workers: 2}); err != nil {
+		t.Fatal(err)
+	} else if st.Workers != 2 || st.JournalBytes == 0 || st.Elapsed <= 0 {
+		t.Errorf("clean recovery stats not populated: %+v", st)
+	}
+}

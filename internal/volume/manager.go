@@ -2,6 +2,8 @@ package volume
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"smrseek/internal/obsv"
 )
@@ -16,24 +18,55 @@ type Manager struct {
 	reg   *obsv.Registry
 }
 
-// OpenAll opens every configured volume. On any failure the volumes
-// opened so far are closed and the first error returned. Names must be
-// unique.
+// OpenAll opens every configured volume. Independent volumes open — and
+// recover their journal directories — concurrently behind a semaphore
+// bounded by GOMAXPROCS, so a multi-volume daemon's time-to-recovery is
+// set by its largest journal, not the sum. On any failure every volume
+// that opened is closed and the first error in config order is
+// returned, regardless of which open failed first in time. Names must
+// be unique.
 func OpenAll(cfgs ...Config) (*Manager, error) {
 	m := &Manager{vols: make(map[string]*Volume, len(cfgs)), reg: obsv.NewRegistry()}
+	seen := make(map[string]bool, len(cfgs))
 	for _, cfg := range cfgs {
-		if _, dup := m.vols[cfg.Name]; dup {
-			m.Close()
+		if seen[cfg.Name] {
 			return nil, fmt.Errorf("volume: duplicate name %q", cfg.Name)
 		}
-		v, err := Open(cfg)
-		if err != nil {
-			m.Close()
-			return nil, err
+		seen[cfg.Name] = true
+	}
+
+	vols := make([]*Volume, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			vols[i], errs[i] = Open(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err == nil {
+			continue
 		}
+		for _, v := range vols {
+			if v != nil {
+				v.Close()
+			}
+		}
+		return nil, err
+	}
+	// Register in config order so Names and the metrics registry are
+	// deterministic regardless of open completion order.
+	for i, cfg := range cfgs {
 		m.order = append(m.order, cfg.Name)
-		m.vols[cfg.Name] = v
-		if err := m.reg.Register(cfg.Name, v.Collector()); err != nil {
+		m.vols[cfg.Name] = vols[i]
+		if err := m.reg.Register(cfg.Name, vols[i].Collector()); err != nil {
 			m.Close()
 			return nil, err
 		}

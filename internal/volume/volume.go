@@ -139,6 +139,11 @@ type Config struct {
 	// sealed history does not check out (journal.ErrCorrupt), while torn
 	// tails — plain crash residue — still recover.
 	SkipVerifyOnRecover bool
+	// RecoverWorkers bounds the worker pool verifying sealed segments
+	// during recovery of JournalDir (0 = GOMAXPROCS, 1 = sequential; see
+	// stl.RecoverOptions.Workers). The recovered state is bit-identical
+	// at any count.
+	RecoverWorkers int
 	// OnSeal, when non-nil, subscribes to the journal's seal chain: it is
 	// invoked on the actor goroutine after every seal boundary (segment
 	// seal or checkpoint rebirth) with the sealed extent and the appends
@@ -268,7 +273,7 @@ func Open(cfg Config) (*Volume, error) {
 		if !simCfg.LogStructured {
 			return nil, fmt.Errorf("volume %s: journaling requires the log-structured layer", cfg.Name)
 		}
-		lg, recovered, rst, err := openJournal(cfg.JournalDir, simCfg.FrontierStart, cfg.SealEvery, !cfg.SkipVerifyOnRecover)
+		lg, recovered, rst, err := openJournal(cfg.JournalDir, simCfg.FrontierStart, cfg.SealEvery, !cfg.SkipVerifyOnRecover, cfg.RecoverWorkers)
 		if err != nil {
 			return nil, fmt.Errorf("volume %s: %w", cfg.Name, err)
 		}
@@ -308,7 +313,7 @@ func Open(cfg Config) (*Volume, error) {
 // checkpoint and the (possibly torn) journal is reborn clean. With
 // verify set, recovery audits the seal chain first and refuses a
 // directory with damage inside the sealed region (journal.ErrCorrupt).
-func openJournal(dir string, frontier geom.Sector, sealEvery int64, verify bool) (*journal.Log, *stl.LS, *stl.ReplayStats, error) {
+func openJournal(dir string, frontier geom.Sector, sealEvery int64, verify bool, workers int) (*journal.Log, *stl.LS, *stl.ReplayStats, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, nil, nil, err
 	}
@@ -327,7 +332,7 @@ func openJournal(dir string, frontier geom.Sector, sealEvery int64, verify bool)
 		}
 		return lg, nil, nil, segSize(lg)
 	}
-	recovered, rst, err := stl.RecoverDirWith(dir, stl.RecoverOptions{VerifyOnRecover: verify})
+	recovered, rst, err := stl.RecoverDirWith(dir, stl.RecoverOptions{VerifyOnRecover: verify, Workers: workers})
 	if err != nil {
 		return nil, nil, nil, err
 	}

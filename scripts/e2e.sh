@@ -83,21 +83,34 @@ kill -KILL "$pid"
 wait "$loadpid" 2>/dev/null || true # load dies with the daemon; that's the point
 
 # Restart over the crashed journals: recovery must verify the seal
-# chains before replaying, and say so.
+# chains before replaying, and say so — with the parallel verification
+# pipeline (-recover-workers) and the timing detail operators watch.
 "$work/smrd" -listen 127.0.0.1:0 -volumes "a,b=defrag+cache" \
 	-journal-dir "$work/journal" -seal-every 8 -checkpoint-every 64 \
-	>"$work/smrd3.log" 2>&1 &
+	-recover-workers 2 >"$work/smrd3.log" 2>&1 &
 pid=$!
 wait_addr "$work/smrd3.log"
 grep -q "verified=true" "$work/smrd3.log" || {
 	echo "restart did not report verified recovery"; cat "$work/smrd3.log"; exit 1
 }
+grep -q "MB/s, workers=2" "$work/smrd3.log" || {
+	echo "recovery line lacks duration/throughput/worker detail"; cat "$work/smrd3.log"; exit 1
+}
+
 kill -TERM "$pid"
 wait "$pid"
 
-# The post-crash, post-recovery journals must audit clean too.
-"$work/smrverify" "$work/journal" >"$work/audit2.log" || {
+# The post-crash, post-recovery journals must audit clean too — through
+# the parallel audit core, which must agree with the sequential one.
+"$work/smrverify" -j 2 "$work/journal" >"$work/audit2.log" || {
 	echo "post-crash audit failed"; cat "$work/audit2.log"; exit 1
+}
+"$work/smrverify" "$work/journal" >"$work/audit2seq.log" || {
+	echo "sequential post-crash audit failed"; cat "$work/audit2seq.log"; exit 1
+}
+cmp -s "$work/audit2.log" "$work/audit2seq.log" || {
+	echo "parallel audit diverges from sequential audit"
+	diff "$work/audit2seq.log" "$work/audit2.log" || true; exit 1
 }
 
 # Seeded corruption: truncating the checkpoint must make the audit fail
@@ -144,6 +157,25 @@ grep -q "failovers" "$work/load3.log" || {
 }
 grep -q "promoted to primary" "$work/fol.log" || {
 	echo "follower never promoted"; cat "$work/fol.log"; exit 1
+}
+# Time-to-recovery: the load summary's "ttr max" column measures how
+# long the client was dark across the failover (re-elect + verified
+# promotion). Log it and sanity-bound it — a promotion that takes tens
+# of seconds means verification stopped overlapping shipping.
+ttr=$(awk '/ops\/s/ {print $7}' "$work/load3.log")
+echo "failover time-to-recovery: ${ttr:-none}"
+case "$ttr" in
+""|-)
+	echo "no time-to-recovery in load summary"; cat "$work/load3.log"; exit 1
+	;;
+esac
+awk -v t="$ttr" 'BEGIN {
+	if (t ~ /^[0-9.]+ms$/)     ms = substr(t, 1, length(t)-2) + 0
+	else if (t ~ /^[0-9.]+s$/) ms = (substr(t, 1, length(t)-1) + 0) * 1000
+	else exit 1
+	exit ms < 30000 ? 0 : 1
+}' || {
+	echo "time-to-recovery $ttr out of bounds (want < 30s)"; cat "$work/load3.log"; exit 1
 }
 
 # Graceful shutdown of the promoted follower: drain, checkpoint, audit.

@@ -247,7 +247,10 @@ func Recover(dir string) (*LS, ReplayStats, error) { return stl.RecoverDir(dir) 
 // RecoverVerified is Recover with the seal-chain audit first: it
 // refuses (journal.ErrCorrupt) to rebuild from a directory whose sealed
 // history or checkpoint linkage does not verify, while torn tails —
-// plain crash residue — still recover to the verified prefix.
+// plain crash residue — still recover to the verified prefix. Segment
+// verification runs on GOMAXPROCS workers; the recovered state is
+// bit-identical to a sequential recovery (stl.RecoverOptions.Workers
+// picks the count explicitly).
 func RecoverVerified(dir string) (*LS, ReplayStats, error) {
 	return stl.RecoverDirWith(dir, stl.RecoverOptions{VerifyOnRecover: true})
 }
@@ -256,6 +259,8 @@ func RecoverVerified(dir string) (*LS, ReplayStats, error) {
 // frame CRCs, segment Merkle roots, the seal chain, and the
 // checkpoint⇄journal linkage. Corruption returns an error matching
 // journal.ErrCorrupt with the damaged file, segment and offset.
+// Segments verify on GOMAXPROCS workers (journal.VerifyDirWorkers
+// picks the count explicitly); the audit is identical at any count.
 func VerifyJournal(dir string) (*JournalAudit, error) { return journal.VerifyDir(dir) }
 
 // Workloads returns the names of the 21 cataloged synthetic workloads.
