@@ -159,6 +159,43 @@ func BenchmarkAblationCombined(b *testing.B) {
 	b.ReportMetric(saf*1000, "saf_millis")
 }
 
+// BenchmarkAblationCombinedBanded is BenchmarkAblationCombined on the
+// finite banded device instead of the infinite model: same mechanisms,
+// same trace, plus per-band write pointers, the persistent cache and
+// the cleaning engine in the device path.
+func BenchmarkAblationCombinedBanded(b *testing.B) {
+	recs := w91Records(*benchScale)
+	base := baseline(b, recs)
+	b.ReportAllocs()
+	var saf, wa float64
+	for i := 0; i < b.N; i++ {
+		dev, err := smrseek.NewBandDevice(smrseek.BandConfig{
+			CacheSectors: 1 << 20,
+			Policy:       smrseek.PolA,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := smrseek.DefaultDefrag()
+		p := smrseek.DefaultPrefetch()
+		c := smrseek.DefaultCache()
+		st, err := smrseek.RunPreloaded(smrseek.Config{
+			Device:        dev,
+			LogStructured: true,
+			Defrag:        &d,
+			Prefetch:      &p,
+			Cache:         &c,
+		}, recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saf = float64(st.Disk.TotalSeeks()) / float64(base)
+		wa = st.Cleaning.WriteAmp()
+	}
+	b.ReportMetric(saf*1000, "saf_millis")
+	b.ReportMetric(wa*1000, "wa_millis")
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (ops/sec)
 // of the plain LS pipeline — the engineering number that bounds how big
 // a trace the library can replay.

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-scale 0.5] table1 fig2 fig3 fig4 fig5 fig7 fig8 fig10 fig11 waf timeamp durability
+//	experiments [-scale 0.5] table1 fig2 fig3 fig4 fig5 fig7 fig8 fig10 fig11 waf cleaning timeamp durability
 //	experiments all
 package main
 
@@ -41,7 +41,7 @@ func run(args []string, out io.Writer) error {
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		return fmt.Errorf(`pass experiment names (table1 fig2 fig3 fig4 fig5 fig7 fig8 fig10 fig11 waf timeamp durability) or "all"`)
+		return fmt.Errorf(`pass experiment names (table1 fig2 fig3 fig4 fig5 fig7 fig8 fig10 fig11 waf cleaning timeamp durability) or "all"`)
 	}
 	if *metricsAddr != "" {
 		// A process-global collector watches every simulator the

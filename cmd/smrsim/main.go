@@ -73,10 +73,16 @@ func run(args []string, out io.Writer) error {
 		hist         = fs.Bool("hist", false, "collect seek/fragmentation/latency histograms and print them (with the seek-distance CDF) after the run")
 		metricsAddr  = fs.String("metrics-addr", "", `serve live JSON metrics and expvar on this address while the run is in flight (e.g. "127.0.0.1:8080")`)
 		pprofFlag    = fs.Bool("pprof", false, "also serve net/http/pprof on -metrics-addr")
+		geometry     = fs.String("geometry", "infinite", `disk geometry: "infinite" (the paper's §II model) or "band" (finite banded device)`)
+		bandSize     = fs.Int64("band-size", 0, "band size in sectors for -geometry band (0 = the 10 MB default)")
+		pcache       = fs.Int64("pcache", 0, "persistent cache size in sectors for -geometry band (0 disables the cache: rewrites stay in place)")
+		cleanPolicy  = fs.String("clean-policy", "pol-a", `cache placement/cleaning policy for -geometry band: "pol-a", "pol-b" or "shelter"`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	setFlags := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	recoverOnly := *recoverFlag && *workloadName == "" && *tracePath == ""
 	if err := validateFlags(*scale, *timeout, *journalDir, *ckptEvery, *crashAfter,
 		*recoverFlag, *all, *layerName, *cacheMB, *preloadN); err != nil {
@@ -95,6 +101,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	faultCfg, err := buildFaultConfig(*faultRate, *poisonRate, *faultSeed, *mediaErrors)
+	if err != nil {
+		return err
+	}
+	newDevice, err := buildDevice(*geometry, *bandSize, *pcache, *cleanPolicy, setFlags, *all, faultCfg != nil)
 	if err != nil {
 		return err
 	}
@@ -191,7 +201,42 @@ func run(args []string, out io.Writer) error {
 		}
 		cfg.Journal = &core.JournalConfig{Log: lg, CheckpointEvery: *ckptEvery}
 	}
-	return runOne(ctx, out, smrseek.PreloadRecords(recs), cfg, *withTime, recovery, obs, *preloadN)
+	return runOne(ctx, out, smrseek.PreloadRecords(recs), cfg, newDevice, *withTime, recovery, obs, *preloadN)
+}
+
+// buildDevice validates the geometry flags and returns a factory for
+// the chosen device model — nil for the default infinite disk. A
+// factory (not a device) because -preload N replays build one fresh
+// simulator per replay, and a banded device is stateful.
+func buildDevice(geometry string, bandSize, pcacheSectors int64, policyName string,
+	setFlags map[string]bool, all, faults bool) (func() (smrseek.Device, error), error) {
+	switch geometry {
+	case "infinite":
+		for _, f := range []string{"band-size", "pcache", "clean-policy"} {
+			if setFlags[f] {
+				return nil, fmt.Errorf("-%s requires -geometry band", f)
+			}
+		}
+		return nil, nil
+	case "band":
+		if all {
+			return nil, fmt.Errorf("-geometry band cannot be combined with -all (the Figure 11 comparison is defined on the paper's infinite model)")
+		}
+		if faults && pcacheSectors > 0 {
+			return nil, fmt.Errorf("-pcache cannot be combined with fault injection (retry semantics of a faulted cache redirect are undefined; drop -fault-rate/-poison-rate/-media-errors or -pcache)")
+		}
+		pol, err := smrseek.ParseBandPolicy(policyName)
+		if err != nil {
+			return nil, err
+		}
+		cfg := smrseek.BandConfig{BandSectors: bandSize, CacheSectors: pcacheSectors, Policy: pol}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return func() (smrseek.Device, error) { return smrseek.NewBandDevice(cfg) }, nil
+	default:
+		return nil, fmt.Errorf("unknown geometry %q (want infinite or band)", geometry)
+	}
 }
 
 // obsvOpts carries the observability flags: event-trace recording,
@@ -401,7 +446,8 @@ func runAll(ctx context.Context, out io.Writer, recs []smrseek.Record) error {
 	return tb.Render(out)
 }
 
-func runOne(ctx context.Context, out io.Writer, pl *smrseek.Preloaded, cfg smrseek.Config, withTime bool, recovery *stl.ReplayStats, obs obsvOpts, replays int) error {
+func runOne(ctx context.Context, out io.Writer, pl *smrseek.Preloaded, cfg smrseek.Config,
+	newDevice func() (smrseek.Device, error), withTime bool, recovery *stl.ReplayStats, obs obsvOpts, replays int) error {
 	// Baseline for SAF, always fault-free so SAF compares like with like.
 	base, err := smrseek.RunPreloadedContext(ctx, smrseek.Config{}, pl)
 	if err != nil {
@@ -421,6 +467,14 @@ func runOne(ctx context.Context, out io.Writer, pl *smrseek.Preloaded, cfg smrse
 	)
 	for i := 0; i < replays; i++ {
 		last := i == replays-1
+		if newDevice != nil {
+			// A fresh device per replay: the banded device is stateful
+			// (write pointers, cache contents), and replays must be
+			// identical.
+			if cfg.Device, err = newDevice(); err != nil {
+				return err
+			}
+		}
 		sim, err := smrseek.NewSimulator(cfg)
 		if err != nil {
 			return err
@@ -437,6 +491,9 @@ func runOne(ctx context.Context, out io.Writer, pl *smrseek.Preloaded, cfg smrse
 			col = obsv.NewCollector()
 			if ls := sim.LS(); ls != nil {
 				col.SetStateFn(func() (geom.Sector, int) { return ls.Frontier(), ls.Map().Len() })
+			}
+			if cl, ok := sim.Disk().(core.Cleaner); ok {
+				col.SetCleaningFn(cl.Cleaning)
 			}
 			sim.AddProbe(col)
 		}
@@ -513,6 +570,12 @@ func renderOne(out io.Writer, cfg smrseek.Config, st, base smrseek.Stats, acc *d
 	}
 	if err := tb.Render(out); err != nil {
 		return err
+	}
+	if st.Cleaning.Any() {
+		fmt.Fprintln(out)
+		if err := report.CleaningTable(st.Cleaning).Render(out); err != nil {
+			return err
+		}
 	}
 	if cfg.Fault != nil {
 		fmt.Fprintln(out)

@@ -1,0 +1,60 @@
+package band
+
+import (
+	"math/rand"
+	"testing"
+
+	"smrseek/internal/disk"
+	"smrseek/internal/geom"
+)
+
+// BenchmarkBandClean replays a deterministic rewrite-heavy stream that
+// keeps the persistent cache full, so every iteration exercises the
+// redirect path and the band cleaning engine continuously — the
+// hot loop a banded simulation spends its time in.
+func BenchmarkBandClean(b *testing.B) {
+	type op struct {
+		kind disk.OpKind
+		ext  geom.Extent
+	}
+	rng := rand.New(rand.NewSource(1))
+	ops := make([]op, 20000)
+	for i := range ops {
+		kind := disk.Read
+		if rng.Intn(2) == 0 {
+			kind = disk.Write
+		}
+		ops[i] = op{kind, geom.Ext(rng.Int63n(1<<13), 1+rng.Int63n(512))}
+	}
+	for _, pol := range []Policy{PolA, PolB, Shelter} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var cleaned, stalls int64
+			for i := 0; i < b.N; i++ {
+				d, err := New(Config{
+					BandSectors:  256,
+					CacheSectors: 2048,
+					UnitSectors:  512,
+					DataSectors:  1 << 20,
+					Policy:       pol,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, o := range ops {
+					if _, err := d.TryDo(o.kind, o.ext); err != nil {
+						b.Fatal(err)
+					}
+				}
+				c := d.Cleaning()
+				cleaned, stalls = c.BandsCleaned, c.Stalls
+				if cleaned == 0 {
+					b.Fatal("workload did not reach the cleaner")
+				}
+			}
+			b.ReportMetric(float64(cleaned)/float64(len(ops))*1000, "cleans_per_kop")
+			b.ReportMetric(float64(stalls)/float64(len(ops))*1000, "stalls_per_kop")
+		})
+	}
+}

@@ -15,6 +15,12 @@ import (
 
 // Config selects a translation layer and the mechanisms composed with it.
 type Config struct {
+	// Device, when non-nil, replaces the default infinite-disk model
+	// with another geometry (e.g. an internal/band finite banded
+	// device). Every layer and mechanism composes with it unchanged; a
+	// device reporting cache/cleaning activity (a Cleaner) contributes
+	// Stats.Cleaning. Nil selects disk.New(), the paper's model.
+	Device disk.Device
 	// LogStructured selects the LS layer; false is the NoLS baseline.
 	LogStructured bool
 	// FrontierStart is where the LS write frontier begins — the paper
@@ -48,11 +54,32 @@ type Config struct {
 // is anything other than the NoLS identity baseline).
 func (c Config) translated() bool { return c.LogStructured || c.CustomLayer != nil }
 
+// Cleaner is the optional device capability for geometries that cache
+// and clean (internal/band); Stats() folds it into Stats.Cleaning.
+type Cleaner interface {
+	Cleaning() metrics.Cleaning
+}
+
+// namedDevice is the optional device capability naming the geometry
+// for configuration labels.
+type namedDevice interface {
+	ModelName() string
+}
+
+// geometrySuffix returns "@<model>" for a named non-default device.
+func (c Config) geometrySuffix() string {
+	if nd, ok := c.Device.(namedDevice); ok {
+		return "@" + nd.ModelName()
+	}
+	return ""
+}
+
 // Name returns a short label for the configuration ("NoLS", "LS",
-// "LS+defrag", ...), used in reports and Figure 11 column headers.
+// "LS+defrag", ...), used in reports and Figure 11 column headers. A
+// non-default device geometry appends an "@<model>" suffix.
 func (c Config) Name() string {
 	if !c.translated() {
-		return "NoLS"
+		return "NoLS" + c.geometrySuffix()
 	}
 	n := "LS"
 	if c.CustomLayer != nil {
@@ -73,7 +100,7 @@ func (c Config) Name() string {
 	if c.Fault != nil && c.Fault.Enabled() {
 		n += "+faults"
 	}
-	return n
+	return n + c.geometrySuffix()
 }
 
 // Validate reports configuration errors. Mechanism configurations are
@@ -169,6 +196,10 @@ type Stats struct {
 	// Durability tallies write-ahead-journal activity (all zero when
 	// journaling is disabled).
 	Durability metrics.Durability
+
+	// Cleaning tallies the device's persistent-cache and band-cleaning
+	// activity (all zero on the infinite model; see internal/band).
+	Cleaning metrics.Cleaning
 }
 
 // ReadSAF, WriteSAF and TotalSAF are computed against a baseline by the
@@ -199,7 +230,7 @@ type Simulator struct {
 	ls         *stl.LS        // nil unless the built-in LS layer is used
 	maintainer stl.Maintainer // nil unless the layer generates background I/O
 	amplifier  stl.Amplifier  // nil unless the layer reports WAF
-	dev        *disk.Disk
+	dev        disk.Device
 	defrag     *Defragmenter
 	prefetch   *Prefetcher
 	cache      *SelectiveCache
@@ -237,7 +268,10 @@ func NewSimulator(cfg Config, probes ...Probe) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Simulator{cfg: cfg, dev: disk.New()}
+	s := &Simulator{cfg: cfg, dev: cfg.Device}
+	if s.dev == nil {
+		s.dev = disk.New()
+	}
 	switch {
 	case cfg.CustomLayer != nil:
 		s.layer = cfg.CustomLayer
@@ -304,9 +338,9 @@ func NewSimulator(cfg Config, probes ...Probe) (*Simulator, error) {
 	return s, nil
 }
 
-// Disk exposes the disk model so callers can attach observers (distance
-// CDFs, windowed series, time accumulators) before Run.
-func (s *Simulator) Disk() *disk.Disk { return s.dev }
+// Disk exposes the device model so callers can attach observers
+// (distance CDFs, windowed series, time accumulators) before Run.
+func (s *Simulator) Disk() disk.Device { return s.dev }
 
 // Layer exposes the translation layer (e.g. for static fragmentation
 // analysis of the final extent map).
@@ -392,6 +426,9 @@ func (s *Simulator) Stats() Stats {
 	}
 	if s.wal != nil {
 		st.Durability.CheckpointAge = s.wal.SinceCheckpoint()
+	}
+	if cl, ok := s.dev.(Cleaner); ok {
+		st.Cleaning = cl.Cleaning()
 	}
 	return st
 }

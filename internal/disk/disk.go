@@ -116,6 +116,27 @@ type FaultChecker interface {
 	CheckAccess(kind OpKind, ext geom.Extent) error
 }
 
+// Device is the pluggable geometry interface internal/core drives. The
+// paper's infinite model (*Disk) and the finite banded model
+// (internal/band.Device) both implement it; the simulator composes
+// against this interface so every mechanism runs unchanged on either.
+type Device interface {
+	// TryDo performs one I/O attempt at the physical extent, charging
+	// seek accounting, and returns the access outcome plus the fault
+	// checker's verdict (nil without a checker).
+	TryDo(kind OpKind, ext geom.Extent) (Access, error)
+	// Counters returns the accumulated seek statistics.
+	Counters() Counters
+	// Position returns the sector following the previous I/O — the only
+	// position from which the next I/O is seek-free.
+	Position() geom.Sector
+	// AddObserver registers an observer for every subsequent access.
+	AddObserver(o Observer)
+	// SetFaultChecker installs a fault checker consulted on every
+	// attempt; nil restores the never-failing default.
+	SetFaultChecker(fc FaultChecker)
+}
+
 // Disk is the head-position model. The zero value is not ready; use New.
 type Disk struct {
 	pos       geom.Sector // sector following the last transferred sector
@@ -131,6 +152,8 @@ type Disk struct {
 func New() *Disk {
 	return &Disk{first: true}
 }
+
+var _ Device = (*Disk)(nil)
 
 // AddObserver registers an observer for every subsequent access.
 func (d *Disk) AddObserver(o Observer) { d.observers = append(d.observers, o) }

@@ -385,6 +385,7 @@ func All(ctx context.Context, w io.Writer, scale float64) error {
 		{"fig10", Fig10},
 		{"fig11", Fig11},
 		{"waf", WAF},
+		{"cleaning", Cleaning},
 		{"timeamp", TimeAmp},
 		{"durability", Durability},
 	}
@@ -416,13 +417,14 @@ func RunContext(ctx context.Context, w io.Writer, name string, scale float64) er
 		"fig10":      Fig10,
 		"fig11":      Fig11,
 		"waf":        WAF,
+		"cleaning":   Cleaning,
 		"timeamp":    TimeAmp,
 		"durability": Durability,
 		"all":        All,
 	}
 	fn, ok := fns[name]
 	if !ok {
-		return fmt.Errorf("experiments: unknown experiment %q (want table1, fig2, fig3, fig4, fig5, fig7, fig8, fig10, fig11, waf, timeamp, durability or all)", name)
+		return fmt.Errorf("experiments: unknown experiment %q (want table1, fig2, fig3, fig4, fig5, fig7, fig8, fig10, fig11, waf, cleaning, timeamp, durability or all)", name)
 	}
 	return fn(ctx, w, scale)
 }

@@ -115,6 +115,75 @@ type Durability struct {
 // Any reports whether any journal activity was recorded.
 func (d Durability) Any() bool { return d != (Durability{}) }
 
+// Cleaning tallies the finite-disk banded device's persistent-cache and
+// band-cleaning behaviour: how much host traffic the cache absorbed, how
+// much extra mechanical work cleaning cost, and how often cleaning
+// stalled the host. All counters are plain totals so runs Add cleanly.
+type Cleaning struct {
+	// CachedWrites counts host write pieces redirected into the
+	// persistent cache instead of their home band.
+	CachedWrites int64
+	// CachedSectors counts sectors those redirected pieces carried.
+	CachedSectors int64
+	// CacheReads counts host read pieces served from the cache region.
+	CacheReads int64
+	// CleanRuns counts cleaning passes (one pass may clean many bands).
+	CleanRuns int64
+	// BandsCleaned counts bands read-modify-written back in place.
+	BandsCleaned int64
+	// CleanReadSectors counts sectors read during cleaning (live band
+	// data plus cached pieces merged back).
+	CleanReadSectors int64
+	// CleanWriteSectors counts sectors written back during cleaning.
+	CleanWriteSectors int64
+	// Stalls counts cleaning passes forced synchronously under a host
+	// op because the cache hit its high watermark — the host waited.
+	Stalls int64
+	// StallSectors counts the sectors moved by those stalled passes —
+	// a proxy for how long the host waited.
+	StallSectors int64
+	// DirtyBands is the number of bands still holding cached data when
+	// the run ended (a gauge, not a total; Add keeps the larger).
+	DirtyBands int64
+	// HostWriteSectors counts sectors the host asked to write — the
+	// denominator of WriteAmp.
+	HostWriteSectors int64
+	// BandCrossings counts band boundaries host accesses swept across —
+	// the head movement the banded geometry makes visible.
+	BandCrossings int64
+}
+
+// Any reports whether any banded-device activity was recorded.
+func (c Cleaning) Any() bool { return c != (Cleaning{}) }
+
+// Add accumulates other into c. DirtyBands, a gauge, keeps the max.
+func (c *Cleaning) Add(other Cleaning) {
+	c.CachedWrites += other.CachedWrites
+	c.CachedSectors += other.CachedSectors
+	c.CacheReads += other.CacheReads
+	c.CleanRuns += other.CleanRuns
+	c.BandsCleaned += other.BandsCleaned
+	c.CleanReadSectors += other.CleanReadSectors
+	c.CleanWriteSectors += other.CleanWriteSectors
+	c.Stalls += other.Stalls
+	c.StallSectors += other.StallSectors
+	if other.DirtyBands > c.DirtyBands {
+		c.DirtyBands = other.DirtyBands
+	}
+	c.HostWriteSectors += other.HostWriteSectors
+	c.BandCrossings += other.BandCrossings
+}
+
+// WriteAmp is the device-level write amplification: all sectors the
+// medium wrote (host + cleaning write-back) over the sectors the host
+// asked to write. A run with no host writes reports 1.
+func (c Cleaning) WriteAmp() float64 {
+	if c.HostWriteSectors == 0 {
+		return 1
+	}
+	return float64(c.HostWriteSectors+c.CleanWriteSectors) / float64(c.HostWriteSectors)
+}
+
 // CDF is an empirical cumulative distribution over float64 samples.
 type CDF struct {
 	samples []float64

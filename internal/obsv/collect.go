@@ -33,8 +33,10 @@ type Collector struct {
 
 	stateEvery int64
 	stateFn    func() (frontier geom.Sector, mapSize int)
+	cleaningFn func() metrics.Cleaning
 
 	mu       sync.Mutex
+	cleaning *metrics.Cleaning  // last polled banded-device gauges
 	seek     *metrics.Histogram // signed seek distance, sectors
 	frags    *metrics.Histogram // fragments per logical read
 	readLat  *metrics.Histogram // modelled read attempt latency, µs
@@ -67,6 +69,25 @@ func (c *Collector) SetStateFn(fn func() (frontier geom.Sector, mapSize int)) {
 	c.stateFn = fn
 }
 
+// SetCleaningFn installs a function polled on the same cadence as
+// SetStateFn — on the simulation goroutine, so it may touch the device —
+// to refresh the banded device's cache/cleaning gauges. A typical
+// caller passes band.Device.Cleaning. The gauges also refresh once at
+// end of run, so a final Snapshot always reports the closing totals.
+func (c *Collector) SetCleaningFn(fn func() metrics.Cleaning) {
+	c.cleaningFn = fn
+}
+
+func (c *Collector) pollCleaning() {
+	if c.cleaningFn == nil {
+		return
+	}
+	cl := c.cleaningFn()
+	c.mu.Lock()
+	c.cleaning = &cl
+	c.mu.Unlock()
+}
+
 // OnOp implements core.Probe.
 func (c *Collector) OnOp(ev core.OpEvent) {
 	n := c.ops.Add(1)
@@ -78,10 +99,13 @@ func (c *Collector) OnOp(ev core.OpEvent) {
 	} else {
 		c.writes.Add(1)
 	}
-	if c.stateFn != nil && n%c.stateEvery == 0 {
-		frontier, size := c.stateFn()
-		c.frontier.Store(frontier)
-		c.mapSize.Store(int64(size))
+	if n%c.stateEvery == 0 {
+		if c.stateFn != nil {
+			frontier, size := c.stateFn()
+			c.frontier.Store(frontier)
+			c.mapSize.Store(int64(size))
+		}
+		c.pollCleaning()
 	}
 }
 
@@ -118,7 +142,7 @@ func (c *Collector) OnJournal(ev core.JournalEvent) {
 }
 
 // OnSummary implements core.Probe.
-func (c *Collector) OnSummary(core.Summary) {}
+func (c *Collector) OnSummary(core.Summary) { c.pollCleaning() }
 
 // SeekDistanceCDF returns the seek-distance histogram's boundary-exact
 // CDF (see metrics.CDFPoints): the one-pass equivalent of the Figure 4
@@ -156,6 +180,10 @@ type Snapshot struct {
 	Frontier int64
 	MapSize  int64
 
+	// Cleaning is the banded device's last polled cache/cleaning
+	// gauges; nil on the infinite-disk geometry.
+	Cleaning *metrics.Cleaning `json:",omitempty"`
+
 	SeekDistance HistSnapshot
 	FragsPerRead HistSnapshot
 	ReadLatency  HistSnapshot
@@ -176,6 +204,7 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	s.Cleaning = c.cleaning
 	s.SeekDistance = HistSnapshot{Name: "seek_distance", Unit: "sectors", Total: c.seek.Total(), Buckets: c.seek.Buckets()}
 	s.FragsPerRead = HistSnapshot{Name: "frags_per_read", Unit: "fragments", Total: c.frags.Total(), Buckets: c.frags.Buckets()}
 	s.ReadLatency = HistSnapshot{Name: "read_latency", Unit: "µs", Total: c.readLat.Total(), Buckets: c.readLat.Buckets()}

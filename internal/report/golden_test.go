@@ -97,6 +97,23 @@ func TestGoldenDurabilityTable(t *testing.T) {
 	}))
 }
 
+func TestGoldenCleaningTable(t *testing.T) {
+	checkGolden(t, "cleaning", CleaningTable(metrics.Cleaning{
+		CachedWrites:      48211,
+		CachedSectors:     1530112,
+		CacheReads:        20931,
+		CleanRuns:         811,
+		BandsCleaned:      930,
+		CleanReadSectors:  17003520,
+		CleanWriteSectors: 18155520,
+		Stalls:            119,
+		StallSectors:      2312960,
+		DirtyBands:        210,
+		HostWriteSectors:  40255488,
+		BandCrossings:     88012,
+	}))
+}
+
 func TestGoldenHistogramTable(t *testing.T) {
 	h := metrics.NewHistogram()
 	for _, v := range []int64{-5000, -4096, -3, 0, 0, 1, 7, 8, 500, 500, 501, 1 << 20} {

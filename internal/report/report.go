@@ -193,6 +193,28 @@ func DurabilityTable(d metrics.Durability) *Table {
 	return tb
 }
 
+// CleaningTable renders a banded run's persistent-cache and
+// band-cleaning tallies — the finite-disk costs (write amplification,
+// cleaning stalls) the infinite-disk model cannot see — in a fixed
+// order so banded runs are byte-for-byte comparable across invocations.
+func CleaningTable(c metrics.Cleaning) *Table {
+	tb := NewTable("persistent cache & band cleaning", "metric", "value")
+	tb.AddRow("host write sectors", HumanCount(c.HostWriteSectors))
+	tb.AddRow("cached writes", HumanCount(c.CachedWrites))
+	tb.AddRow("cached sectors", HumanCount(c.CachedSectors))
+	tb.AddRow("cache reads", HumanCount(c.CacheReads))
+	tb.AddRow("clean runs", HumanCount(c.CleanRuns))
+	tb.AddRow("bands cleaned", HumanCount(c.BandsCleaned))
+	tb.AddRow("clean read sectors", HumanCount(c.CleanReadSectors))
+	tb.AddRow("clean write sectors", HumanCount(c.CleanWriteSectors))
+	tb.AddRow("cleaning stalls", HumanCount(c.Stalls))
+	tb.AddRow("stalled sectors", HumanCount(c.StallSectors))
+	tb.AddRow("dirty bands (peak)", HumanCount(c.DirtyBands))
+	tb.AddRow("band crossings", HumanCount(c.BandCrossings))
+	tb.AddRow("write amplification", fmt.Sprintf("%.3f", c.WriteAmp()))
+	return tb
+}
+
 // HistogramTable renders a log2-bucketed histogram (see
 // metrics.Histogram) as one row per non-empty bucket: the value range,
 // the sample count, and the cumulative fraction through that bucket.

@@ -24,10 +24,10 @@ if [ "${1:-}" = smoke ]; then
 	# (an accidentally-always-on probe, an O(n) slip, a lost scratch
 	# buffer re-allocating per op), not jitter. allocs/op is gated too:
 	# it is deterministic, so even a short run flags real growth.
-	go test -run='^$' -bench='^(BenchmarkSimulatorThroughput|BenchmarkInsert|BenchmarkInsertFunc|BenchmarkLookup|BenchmarkLookupFunc|BenchmarkFragments|BenchmarkVolumeActor|BenchmarkVolumeTCP|BenchmarkVerifyDir|BenchmarkRecoverDir)$' \
-		-benchtime=0.3s -benchmem -timeout 10m . ./internal/extmap ./internal/volume ./internal/journal ./internal/stl |
+	go test -run='^$' -bench='^(BenchmarkSimulatorThroughput|BenchmarkInsert|BenchmarkInsertFunc|BenchmarkLookup|BenchmarkLookupFunc|BenchmarkFragments|BenchmarkVolumeActor|BenchmarkVolumeTCP|BenchmarkVerifyDir|BenchmarkRecoverDir|BenchmarkBandClean)$' \
+		-benchtime=0.3s -benchmem -timeout 10m . ./internal/extmap ./internal/volume ./internal/journal ./internal/stl ./internal/band |
 		go run ./scripts/benchjson >"$tmp"
-	go run ./scripts/benchjson -compare -gate 25 -gate-allocs 25 -match 'BenchmarkSimulator|internal/extmap|internal/volume|BenchmarkVerifyDir/seq|BenchmarkRecoverDir/seq' "$out" "$tmp"
+	go run ./scripts/benchjson -compare -gate 25 -gate-allocs 25 -match 'BenchmarkSimulator|internal/extmap|internal/volume|BenchmarkVerifyDir/seq|BenchmarkRecoverDir/seq|BenchmarkBandClean' "$out" "$tmp"
 	exit 0
 fi
 
